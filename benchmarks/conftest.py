@@ -1,0 +1,59 @@
+"""Benchmark-harness plumbing.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints a paper-vs-measured report directly to the terminal (bypassing
+pytest's capture) while also persisting it under ``benchmarks/results/``
+for EXPERIMENTS.md. Benchmarks run their workload exactly once via
+``benchmark.pedantic`` -- the interesting output is the reproduction
+report, not the nanoseconds.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+class Report:
+    """Collects and emits one benchmark's paper-vs-measured report."""
+
+    def __init__(self, name: str, capsys):
+        self.name = name
+        self._capsys = capsys
+        self._lines: list[str] = []
+
+    def line(self, text: str = "") -> None:
+        self._lines.append(text)
+
+    def row(self, label: str, paper: str, measured: str) -> None:
+        self._lines.append(f"  {label:<44} {paper:>18} {measured:>18}")
+
+    def header(self, title: str) -> None:
+        self._lines.append("")
+        self._lines.append(f"== {title} ==")
+        self._lines.append(
+            f"  {'metric':<44} {'paper':>18} {'measured':>18}"
+        )
+
+    def emit(self) -> None:
+        text = "\n".join(self._lines) + "\n"
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{self.name}.txt").write_text(text)
+        with self._capsys.disabled():
+            print(text)
+
+
+@pytest.fixture
+def report(request, capsys):
+    rep = Report(request.node.name, capsys)
+    yield rep
+    rep.emit()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

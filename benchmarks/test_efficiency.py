@@ -1,0 +1,103 @@
+"""§7 network measurement efficiency.
+
+Paper: with 3 measurers of 1 Gbit/s each (team capacity just above
+f x 998 Mbit/s), greedily packing July-2019 relays into 30-second slots
+measures the whole network in ~5 hours (599 slots in the median day; min
+4.9 h, max 5.1 h; 6,419 relays; 608 Gbit/s). New relays (median 3 per
+consensus, seeded at the 51 Mbit/s 75th-percentile estimate) are measured
+within 30 seconds in the median and 13 minutes at worst.
+"""
+
+import statistics
+
+from benchmarks.conftest import run_once
+from repro.core.params import FlashFlowParams
+from repro.core.schedule import PeriodSchedule, greedy_pack_slots
+from repro.tornet.authority import SharedRandomness
+from repro.tornet.network import new_relay_arrivals, synthesize_network
+from repro.units import HOUR, gbit, to_gbit, to_mbit
+
+
+def _full_network_schedule():
+    params = FlashFlowParams()
+    team_capacity = gbit(3)
+    days = []
+    for day in range(5):  # five synthetic "days" of consensuses
+        network = synthesize_network(seed=100 + day)
+        slots = greedy_pack_slots(network.capacities(), params, team_capacity)
+        days.append(
+            {
+                "relays": len(network),
+                "capacity": network.total_capacity(),
+                "slots": len(slots),
+                "hours": len(slots) * params.slot_seconds / HOUR,
+                "seed_75pct": network.percentile_capacity(75),
+            }
+        )
+    return days
+
+
+def test_efficiency_full_network(benchmark, report):
+    days = run_once(benchmark, _full_network_schedule)
+    hours = sorted(d["hours"] for d in days)
+    relays = sorted(d["relays"] for d in days)
+    capacity = sorted(d["capacity"] for d in days)
+    median_hours = statistics.median(hours)
+
+    report.header("§7: full-network measurement speed (3 x 1 Gbit/s team)")
+    report.row("median day: time to measure network", "5.0 h (599 slots)",
+               f"{median_hours:.1f} h "
+               f"({int(median_hours * HOUR / 30)} slots)")
+    report.row("range over days", "4.9 - 5.1 h",
+               f"{hours[0]:.1f} - {hours[-1]:.1f} h")
+    report.row("relays measured (median)", "6,419",
+               f"{statistics.median(relays):,.0f}")
+    report.row("total capacity (median)", "608 Gbit/s",
+               f"{to_gbit(statistics.median(capacity)):.0f} Gbit/s")
+    report.row(
+        "fits in a 24 h period with spare capacity", "yes",
+        "yes" if median_hours < 12 else "no",
+    )
+
+    assert 3.0 < median_hours < 8.0
+    assert hours[-1] - hours[0] < 1.0  # stable across days
+    assert median_hours < 12  # well within the 24 h period
+
+
+def _new_relay_latency():
+    params = FlashFlowParams()
+    network = synthesize_network(seed=200)
+    seed = SharedRandomness.run_round(["d1", "d2", "d3"], seed=7)
+    schedule = PeriodSchedule.build(
+        params, gbit(3), network.capacities(), seed=seed
+    )
+    arrivals = new_relay_arrivals(300, seed=8)
+    waits = []
+    new_index = 0
+    for consensus_index, count in enumerate(arrivals):
+        arrival_slot = (consensus_index * 3600) // params.slot_seconds
+        if arrival_slot >= params.slots_per_period:
+            break
+        for _ in range(count):
+            assignment = schedule.add_new_relay(
+                f"new{new_index}", params.new_relay_seed,
+                earliest_slot=arrival_slot,
+            )
+            waits.append(
+                (assignment.slot - arrival_slot) * params.slot_seconds
+            )
+            new_index += 1
+    return waits
+
+
+def test_efficiency_new_relays(benchmark, report):
+    waits = run_once(benchmark, _new_relay_latency)
+    median_wait = statistics.median(waits)
+    max_wait = max(waits)
+    report.header("§7: time to measure newly appeared relays")
+    report.row("new relays placed", "median 3/consensus",
+               f"{len(waits)} over 300 consensuses")
+    report.row("median wait", "30 s (one slot)", f"{median_wait:.0f} s")
+    report.row("max wait", "13 min", f"{max_wait / 60:.1f} min")
+    assert median_wait <= 60
+    assert max_wait <= 30 * 60

@@ -1,0 +1,130 @@
+"""Figures 1-4: TorFlow capacity/weight error from archived metrics (§3).
+
+The paper computes Equations 1-6 over 11 years of Tor metrics data. This
+bench runs the same pipeline over the calibrated synthetic archive and
+reports the headline statistics of each figure.
+
+Paper values:
+- Fig 1 (mean relay capacity error): median 7% (day) .. 28% (year);
+  25th-percentile-worst >= 18% (day) / 49% (year); >85% of relays nonzero.
+- Fig 2 (network capacity error): medians 5/14/22/36%, max 60% (year).
+- Fig 3 (relay weight error): >85% of relays under-weighted.
+- Fig 4 (network weight error): medians 21/22/24/30%.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.metrics.analysis import (
+    PERIODS_HOURS,
+    network_capacity_error,
+    network_weight_error,
+    relay_capacity_error_means,
+    relay_weight_error_means,
+)
+from repro.metrics.datagen import ArchiveGenParams, generate_archive
+
+_PAPER_FIG1 = {"day": "7%", "week": "-", "month": "-", "year": "28%"}
+_PAPER_FIG2 = {"day": "5%", "week": "14%", "month": "22%", "year": "36%"}
+_PAPER_FIG4 = {"day": "21%", "week": "22%", "month": "24%", "year": "30%"}
+
+
+def _make_archive():
+    return generate_archive(
+        ArchiveGenParams(n_relays=250, n_days=400, seed=1)
+    )
+
+
+def test_fig01_relay_capacity_error(benchmark, report):
+    archive = run_once(benchmark, _make_archive)
+    report.header("Figure 1: mean relay capacity error per relay (CDF)")
+    warm = archive.n_hours // 2
+    for name in ("day", "week", "month", "year"):
+        hours = PERIODS_HOURS[name]
+        rce = relay_capacity_error_means(
+            archive, hours, warmup_hours=min(hours, warm)
+        )
+        report.row(
+            f"median mean-RCE, p={name}",
+            _PAPER_FIG1[name],
+            f"{np.nanmedian(rce) * 100:.1f}%",
+        )
+        report.row(
+            f"75th-pct mean-RCE, p={name}",
+            "18%" if name == "day" else ("49%" if name == "year" else "-"),
+            f"{np.nanpercentile(rce, 75) * 100:.1f}%",
+        )
+    nonzero = np.nanmean(
+        relay_capacity_error_means(archive, 168, warmup_hours=720) > 0.005
+    )
+    report.row("relays with nonzero error", ">85%", f"{nonzero * 100:.0f}%")
+    # The defining shape: error grows with the period length p.
+    medians = [
+        np.nanmedian(
+            relay_capacity_error_means(
+                archive, PERIODS_HOURS[p], warmup_hours=min(PERIODS_HOURS[p], warm)
+            )
+        )
+        for p in ("day", "week", "month")
+    ]
+    assert medians[0] < medians[1] <= medians[2] + 1e-9
+
+
+def test_fig02_network_capacity_error(benchmark, report):
+    archive = run_once(benchmark, _make_archive)
+    report.header("Figure 2: network capacity error over time")
+    warm = archive.n_hours // 2
+    medians = {}
+    for name in ("day", "week", "month", "year"):
+        hours = PERIODS_HOURS[name]
+        nce = network_capacity_error(archive, hours)[min(hours, warm):]
+        medians[name] = float(np.nanmedian(nce))
+        report.row(
+            f"median NCE, p={name}",
+            _PAPER_FIG2[name],
+            f"{medians[name] * 100:.1f}%",
+        )
+    report.row(
+        "max NCE (year)", "60%",
+        f"{np.nanmax(network_capacity_error(archive, 8760)) * 100:.1f}%",
+    )
+    assert medians["day"] < medians["week"] < medians["month"]
+
+
+def test_fig03_relay_weight_error(benchmark, report):
+    archive = run_once(benchmark, _make_archive)
+    report.header("Figure 3: mean relay weight error per relay (log10 CDF)")
+    rwe = relay_weight_error_means(archive, 720, warmup_hours=720)
+    under = float(np.nanmean(rwe < 1.0))
+    report.row(
+        "relays under-weighted (RWE < 1)", ">85%",
+        f"{under * 100:.0f}% (generator reaches ~66-75%; gap documented "
+        "in EXPERIMENTS.md)",
+    )
+    finite = rwe[np.isfinite(rwe) & (rwe > 0)]
+    log_errors = np.log10(finite)
+    report.row(
+        "log10(RWE) range", "-4 .. +2",
+        f"{log_errors.min():.1f} .. {log_errors.max():.1f}",
+    )
+    assert under > 0.6
+
+
+def test_fig04_network_weight_error(benchmark, report):
+    archive = run_once(benchmark, _make_archive)
+    report.header("Figure 4: network weight error over time")
+    warm = archive.n_hours // 2
+    medians = {}
+    for name in ("day", "week", "month", "year"):
+        hours = PERIODS_HOURS[name]
+        nwe = network_weight_error(archive, hours)[min(hours, warm):]
+        medians[name] = float(np.nanmedian(nwe))
+        report.row(
+            f"median NWE, p={name}",
+            _PAPER_FIG4[name],
+            f"{medians[name] * 100:.1f}%",
+        )
+    report.row("2019-range takeaway", "15-25%", "see medians above")
+    # Shape: NWE grows (weakly) with period length, in the paper's band.
+    assert medians["day"] <= medians["year"] + 1e-9
+    assert 0.10 < medians["month"] < 0.45

@@ -1,0 +1,104 @@
+"""Figure 6: FlashFlow measurement accuracy on the Internet (§6.2).
+
+Paper: across targets limited to 10/250/500/750/unlimited Mbit/s on
+US-SW, measured by every sufficient team subset of {US-NW, US-E, IN, NL}
+(7 repetitions each over 24 hours), 99.8% of measurements fall within
+(-eps1, +eps2) = (-20%, +5%) of ground truth and 95% are within 11%.
+"""
+
+import itertools
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.allocation import allocate_evenly
+from repro.core.measurement import run_measurement
+from repro.core.measurer import Measurer
+from repro.core.params import FlashFlowParams
+from repro.netsim.latency import NetworkModel
+from repro.tornet.cpu import CpuModel
+from repro.tornet.relay import Relay
+from repro.units import mbit
+
+#: Ground-truth Tor capacity of US-SW per configured limit (§6.1, E.2).
+GROUND_TRUTH = {
+    10: mbit(9.58),
+    250: mbit(239),
+    500: mbit(494),
+    750: mbit(741),
+    0: mbit(890),  # unlimited
+}
+
+
+def _target_relay(limit_mbit: int, seed: int) -> Relay:
+    """A relay on US-SW hardware with an optional rate limit.
+
+    The limit is configured at the *payload* ground-truth level (the
+    paper's measured ground truths run ~1-4% under the nominal limits
+    because Tor's token accounting includes overheads our byte counts
+    exclude).
+    """
+    relay = Relay(
+        fingerprint=f"us-sw-{limit_mbit}-{seed}",
+        host=NetworkModel.paper_internet().host("US-SW"),
+        cpu=CpuModel(max_forward_bits=mbit(890)),
+        seed=seed,
+    )
+    if limit_mbit:
+        relay.set_rate_limit(GROUND_TRUTH[limit_mbit])
+    return relay
+
+
+def _run_experiment(repetitions: int = 7, seed: int = 3):
+    params = FlashFlowParams()
+    model = NetworkModel.paper_internet(seed=seed)
+    measurer_names = ["US-NW", "US-E", "IN", "NL"]
+    fractions = []
+
+    for limit in GROUND_TRUTH:
+        truth = GROUND_TRUTH[limit]
+        required = params.allocation_factor * truth
+        for size in range(1, len(measurer_names) + 1):
+            for subset in itertools.combinations(measurer_names, size):
+                team = [
+                    Measurer(name=n, host=model.host(n))
+                    for n in subset
+                ]
+                if sum(m.capacity for m in team) < required:
+                    continue  # insufficient subset, as in the paper
+                if any(required / len(team) > m.capacity for m in team):
+                    continue  # a member cannot supply its even share
+                for rep in range(repetitions):
+                    relay = _target_relay(limit, seed=rep * 31 + size)
+                    assignments = allocate_evenly(team, required)
+                    outcome = run_measurement(
+                        relay, assignments, params,
+                        network=model, target_location="US-SW",
+                        seed=seed + rep * 1009 + hash(subset) % 997,
+                    )
+                    fractions.append(outcome.estimate / truth)
+    return np.array(fractions)
+
+
+def test_fig06_measurement_accuracy(benchmark, report):
+    fractions = run_once(benchmark, _run_experiment)
+    within_11 = float(np.mean(np.abs(fractions - 1.0) <= 0.11))
+    within_eps = float(np.mean((fractions >= 0.80) & (fractions <= 1.05)))
+    report.header("Figure 6: accuracy CDF over team x capacity x repeats")
+    report.row("measurements", "~300", str(len(fractions)))
+    report.row("within 11% of ground truth", "95%", f"{within_11 * 100:.1f}%")
+    report.row(
+        "within (-eps1, +eps2) = (-20%, +5%)", "99.8%",
+        f"{within_eps * 100:.1f}%",
+    )
+    report.row(
+        "median fraction of capacity", "~0.95-1.0",
+        f"{np.median(fractions):.3f}",
+    )
+    report.row(
+        "range", "0.84 .. 1.05",
+        f"{fractions.min():.2f} .. {fractions.max():.2f}",
+    )
+    assert within_eps >= 0.97
+    assert within_11 >= 0.85
+    assert 0.88 < np.median(fractions) < 1.02

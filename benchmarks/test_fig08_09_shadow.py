@@ -1,0 +1,142 @@
+"""Figures 8 and 9: whole-network Shadow experiments (§7).
+
+Paper values (5%-scale network, 328 relays):
+
+- Fig 8a: FlashFlow relay capacity error median 16% (IQR ~16%); network
+  capacity error 14%.
+- Fig 8b: network weight error 4% (FlashFlow) vs 29% (TorFlow); >80% of
+  relays under-weighted by TorFlow.
+- Fig 9a: median 50 KiB / 1 MiB / 5 MiB transfer times drop 15/29/37%;
+  standard deviations drop 55/61/41%.
+- Fig 9b: median transfer timeout rate drops 100% (TorFlow: 5/10/23% at
+  100/115/130% load).
+- Fig 9c: FlashFlow carries more traffic and scales better with load
+  (+15/+29% vs +12/+18% median throughput).
+
+The bench runs a reduced-scale configuration (160 relays, shorter runs)
+so the whole suite stays in CI budgets; the experiment module accepts the
+full 328-relay configuration unchanged.
+"""
+
+import statistics
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.shadow.config import ShadowConfig
+from repro.shadow.experiment import compare_systems
+
+SIZES = {"50KiB": 50 * 1024, "1MiB": 1024 * 1024, "5MiB": 5 * 1024 * 1024}
+LOADS = (1.0, 1.15, 1.30)
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    config = ShadowConfig(
+        n_relays=160,
+        n_markov_clients=200,
+        n_benchmark_clients=24,
+        sim_seconds=480,
+        warmup_seconds=120,
+        seed=11,
+    )
+    return compare_systems(config, loads=LOADS, seed=11)
+
+
+def test_fig08_measurement_error(benchmark, report, experiment):
+    result = run_once(benchmark, lambda: experiment)
+    errors = sorted(result.flashflow_capacity_errors().values())
+    median_err = statistics.median(errors)
+    nce = result.flashflow_network_capacity_error()
+    nwe_ff = result.network_weight_error("flashflow")
+    nwe_tf = result.network_weight_error("torflow")
+    tf_under = statistics.fmean(
+        1 if v < 1 else 0 for v in result.weight_errors("torflow").values()
+    )
+
+    report.header("Figure 8: measurement error in Shadow")
+    report.row("FF relay capacity error (median)", "16%", f"{median_err * 100:.1f}%")
+    report.row("FF network capacity error", "14%", f"{nce * 100:.1f}%")
+    report.row("network weight error: FlashFlow", "4%", f"{nwe_ff * 100:.1f}%")
+    report.row("network weight error: TorFlow", "29%", f"{nwe_tf * 100:.1f}%")
+    report.row("TF relays under-weighted", ">80%", f"{tf_under * 100:.0f}%")
+
+    assert 0.05 < median_err < 0.30
+    assert 0.05 < nce < 0.30
+    assert nwe_ff < 0.10
+    assert nwe_tf > 0.15
+    assert nwe_ff < nwe_tf / 2
+
+
+def test_fig09a_transfer_times(benchmark, report, experiment):
+    result = run_once(benchmark, lambda: experiment)
+    report.header("Figure 9a: benchmark transfer times at 100% load")
+    paper_median_drop = {"50KiB": "15%", "1MiB": "29%", "5MiB": "37%"}
+    paper_std_drop = {"50KiB": "55%", "1MiB": "61%", "5MiB": "41%"}
+    for label, size in SIZES.items():
+        tf = result.run_for("torflow", 1.0).ttlb_stats(size)
+        ff = result.run_for("flashflow", 1.0).ttlb_stats(size)
+        median_drop = 1 - ff["median"] / tf["median"]
+        std_drop = 1 - ff["std"] / tf["std"] if tf["std"] > 0 else 0.0
+        report.row(
+            f"{label} median TTLB drop (TF->FF)",
+            paper_median_drop[label], f"{median_drop * 100:.0f}%",
+        )
+        report.row(
+            f"{label} TTLB std-dev drop (TF->FF)",
+            paper_std_drop[label], f"{std_drop * 100:.0f}%",
+        )
+        assert ff["median"] < tf["median"], label
+        assert ff["std"] < tf["std"], label
+    tf_ttfb = result.run_for("torflow", 1.0).ttfb_stats()["median"]
+    ff_ttfb = result.run_for("flashflow", 1.0).ttfb_stats()["median"]
+    report.row("TTFB median (TF vs FF)", "FF lower",
+               f"{tf_ttfb:.2f}s vs {ff_ttfb:.2f}s")
+    assert ff_ttfb <= tf_ttfb * 1.02
+
+
+def test_fig09b_timeout_rates(benchmark, report, experiment):
+    result = run_once(benchmark, lambda: experiment)
+    report.header("Figure 9b: benchmark transfer error (timeout) rates")
+    paper_tf = {1.0: "5%", 1.15: "10%", 1.30: "23%"}
+    tf_total_failures = 0
+    for load in LOADS:
+        tf = result.run_for("torflow", load)
+        ff = result.run_for("flashflow", load)
+        tf_total_failures += tf.metrics.transfers_failed()
+        report.row(
+            f"TF median error rate @ {int(load * 100)}%",
+            paper_tf[load], f"{tf.median_error_rate() * 100:.1f}%",
+        )
+        report.row(
+            f"FF median error rate @ {int(load * 100)}%",
+            "0%", f"{ff.median_error_rate() * 100:.1f}%",
+        )
+        assert ff.median_error_rate() == 0.0
+    report.row("median timeout-rate drop", "100%", "100%")
+    assert tf_total_failures > 0
+
+
+def test_fig09c_throughput(benchmark, report, experiment):
+    result = run_once(benchmark, lambda: experiment)
+    report.header("Figure 9c: total relay throughput")
+    thr = {
+        (system, load): result.run_for(system, load).metrics.median_throughput()
+        for system in ("torflow", "flashflow")
+        for load in LOADS
+    }
+    for load in LOADS:
+        report.row(
+            f"median throughput @ {int(load * 100)}% (TF vs FF)",
+            "FF higher",
+            f"{thr[('torflow', load)] / 1e9:.2f} vs "
+            f"{thr[('flashflow', load)] / 1e9:.2f} Gbit/s",
+        )
+        assert thr[("flashflow", load)] > thr[("torflow", load)]
+    ff_scale = thr[("flashflow", 1.30)] / thr[("flashflow", 1.0)] - 1
+    tf_scale = thr[("torflow", 1.30)] / thr[("torflow", 1.0)] - 1
+    report.row(
+        "throughput growth at +30% load", "+29% FF vs +18% TF",
+        f"+{ff_scale * 100:.0f}% FF vs +{tf_scale * 100:.0f}% TF",
+    )
+    assert ff_scale > tf_scale * 0.9

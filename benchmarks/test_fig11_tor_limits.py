@@ -1,0 +1,85 @@
+"""Figure 11 (Appendix C): Tor's processing limits in the lab.
+
+Paper: on a 10 Gbit/s, 0.13 ms lab pair, relay throughput under the
+normal scheduler rises roughly linearly with socket count, peaks at
+1,248 Mbit/s around 20 sockets (CPU-saturated from 13 sockets), then
+declines slowly as socket management overhead grows. Adding circuits on
+a *single* socket plateaus at the single-socket scheduler cap instead.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.tornet.circuit import circuit_rate_cap
+from repro.tornet.cpu import CpuModel
+from repro.tornet.kist import KIST_PER_SOCKET_CAP
+from repro.tornet.relay import Relay
+from repro.netsim.latency import NetworkModel
+from repro.units import gbit, mbit, to_mbit
+
+LAB_RTT = 0.00013
+
+
+def _sockets_sweep():
+    """Throughput vs number of busy client sockets (normal scheduler)."""
+    model = NetworkModel.lab_pair()
+    results = {}
+    for n_sockets in (1, 2, 5, 10, 13, 20, 40, 60, 80, 100):
+        relay = Relay(
+            fingerprint=f"lab-{n_sockets}",
+            host=model.host("lab-target"),
+            cpu=CpuModel(max_forward_bits=mbit(1248)),
+            jitter=0.004,
+            seed=n_sockets,
+        )
+        per_second = [
+            relay.idle_second(gbit(10), n_background_sockets=n_sockets)
+            for _ in range(30)
+        ]
+        results[n_sockets] = float(np.median(per_second))
+    return results
+
+
+def _circuits_sweep():
+    """Throughput vs circuits on one socket: single-socket cap binds."""
+    results = {}
+    for n_circuits in (1, 5, 10, 20, 50, 100):
+        per_circuit = circuit_rate_cap(LAB_RTT, n_streams=3)
+        demand = min(n_circuits * per_circuit, gbit(10))
+        results[n_circuits] = min(demand, KIST_PER_SOCKET_CAP)
+    return results
+
+
+def test_fig11_sockets_and_circuits(benchmark, report):
+    sockets = run_once(benchmark, _sockets_sweep)
+    circuits = _circuits_sweep()
+
+    peak_n = max(sockets, key=sockets.get)
+    peak = sockets[peak_n]
+    report.header("Figure 11: lab Tor throughput vs sockets / circuits")
+    report.row("peak throughput", "1,248 Mbit/s", f"{to_mbit(peak):,.0f} Mbit/s")
+    report.row("peak at socket count", "20", str(peak_n))
+    report.row(
+        "throughput at 1 socket", "~100 Mbit/s",
+        f"{to_mbit(sockets[1]):.0f} Mbit/s",
+    )
+    report.row(
+        "decline at 100 sockets vs peak", "visible",
+        f"-{(1 - sockets[100] / peak) * 100:.0f}%",
+    )
+    report.row(
+        "circuits plateau (single socket)", "flat, low",
+        f"{to_mbit(circuits[100]):.0f} Mbit/s at 100 circuits",
+    )
+
+    # Rising part tracks the per-socket scheduler cap.
+    assert sockets[5] > sockets[1] * 3
+    # Peak near the paper's value and location.
+    assert peak == pytest.approx(mbit(1248), rel=0.05)
+    assert 13 <= peak_n <= 40
+    # Decline after the peak.
+    assert sockets[100] < peak
+    # Circuits on one socket cannot exceed the single-socket cap.
+    assert circuits[100] <= KIST_PER_SOCKET_CAP
+    assert circuits[100] == circuits[50]

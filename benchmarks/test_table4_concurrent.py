@@ -1,0 +1,77 @@
+"""Table 4 (Appendix F): concurrent Internet measurements.
+
+Paper: US-E + NL (combined 2,552 Mbit/s, the smallest pair able to cover
+800 Mbit/s of relay capacity at f) measure, concurrently for 30 seconds:
+eight 100 Mbit/s relays (ground truth 94.2), four 200 Mbit/s relays
+(191), and two 400 Mbit/s relays (393). All but one estimate fell within
+(-eps1, +eps2); the one outlier missed by a relative 0.02.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.bwauth import FlashFlowAuthority
+from repro.core.measurer import Measurer
+from repro.core.netmeasure import measure_network
+from repro.core.params import FlashFlowParams
+from repro.netsim.latency import NetworkModel
+from repro.tornet.network import TorNetwork
+from repro.tornet.relay import Relay
+from repro.units import mbit
+
+#: (configured limit, paper ground truth Mbit/s, relay count).
+CASES = [(100, 94.2, 8), (200, 191.0, 4), (400, 393.0, 2)]
+
+
+def _concurrent_measurements():
+    model = NetworkModel.paper_internet(seed=26)
+    params = FlashFlowParams()
+    results = {}
+    for limit, truth_mbit, count in CASES:
+        network = TorNetwork()
+        for index in range(count):
+            relay = Relay.with_capacity(
+                f"r{limit}-{index}", mbit(truth_mbit), seed=index + limit
+            )
+            network.add(relay)
+        team = [
+            Measurer(name=name, host=model.host(name))
+            for name in ("US-E", "NL")
+        ]
+        auth = FlashFlowAuthority(
+            "bwauth-t4", team, params=params, network=model, seed=limit
+        )
+        campaign = measure_network(
+            network, auth,
+            prior_estimates={fp: mbit(truth_mbit) for fp in network.relays},
+            full_simulation=True,
+        )
+        results[limit] = {
+            "estimates": list(campaign.estimates.values()),
+            "truth": mbit(truth_mbit),
+            "slots": campaign.slots_elapsed,
+        }
+    return results
+
+
+def test_table4_concurrent_measurement(benchmark, report):
+    results = run_once(benchmark, _concurrent_measurements)
+    report.header("Table 4: concurrent measurement accuracy (US-E + NL)")
+    all_relative = []
+    for limit, truth_mbit, count in CASES:
+        data = results[limit]
+        relative = [e / data["truth"] for e in data["estimates"]]
+        all_relative.extend(relative)
+        report.row(
+            f"{count} x {limit} Mbit/s relays (truth {truth_mbit})",
+            "93-105% / 85-97% / 78-100%",
+            f"{min(relative) * 100:.0f}-{max(relative) * 100:.0f}%",
+        )
+        assert len(data["estimates"]) == count
+    within = np.mean([(0.78 <= r <= 1.05) for r in all_relative])
+    report.row("estimates within bounds", "13 of 14",
+               f"{within * 100:.0f}%")
+    # The paper tolerates one marginal miss; we require the same or better.
+    assert within >= 13 / 14 - 1e-9
+    # Concurrency actually happened: the 8-relay case cannot need 8 slots.
+    assert results[100]["slots"] <= 4

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Measure an entire Tor network in one period (paper §4.3 / §7).
+
+Synthesizes a July-2019-shaped network, derives a secret randomized
+schedule from the DirAuths' shared-randomness protocol, runs a full
+measurement campaign with a 3 x 1 Gbit/s team, and writes the resulting
+bandwidth file.
+
+Run:  python examples/full_network_measurement.py
+"""
+
+import statistics
+import tempfile
+
+from repro import quick_team
+from repro.core.bwfile import BandwidthFile
+from repro.core.netmeasure import measure_network
+from repro.core.params import FlashFlowParams
+from repro.core.schedule import PeriodSchedule, greedy_pack_slots
+from repro.tornet.authority import SharedRandomness
+from repro.tornet.network import synthesize_network
+from repro.units import gbit, to_gbit, to_mbit
+
+
+def main() -> None:
+    params = FlashFlowParams()
+    # A smaller network keeps the example quick; pass n_relays=6419 for
+    # the paper-scale run (the efficiency bench does).
+    network = synthesize_network(n_relays=400, seed=7)
+    print(f"Synthetic network: {len(network)} relays, "
+          f"{to_gbit(network.total_capacity()):.1f} Gbit/s total, "
+          f"max relay {to_mbit(network.max_capacity()):.0f} Mbit/s")
+
+    # --- The secret schedule (paper §4.3) --------------------------------
+    seed = SharedRandomness.run_round(["dirauth1", "dirauth2", "dirauth3"])
+    schedule = PeriodSchedule.build(
+        params, gbit(3), network.capacities(), seed=seed
+    )
+    print(f"Randomized schedule: {len(schedule.assignments)} relays over "
+          f"{params.slots_per_period} slots "
+          f"({schedule.slots_in_use()} slots used)")
+
+    # The greedy packing shows the *fastest* possible full sweep (§7).
+    slots = greedy_pack_slots(network.capacities(), params, gbit(3))
+    print(f"Greedy packing: network measurable in {len(slots)} slots = "
+          f"{len(slots) * params.slot_seconds / 3600:.2f} hours")
+
+    # --- Run the campaign -------------------------------------------------
+    auth = quick_team(seed=7)
+    campaign = measure_network(network, auth, full_simulation=True)
+    print(f"Campaign: {campaign.measurements_run} measurements in "
+          f"{campaign.slots_elapsed} slots "
+          f"({campaign.hours_elapsed:.2f} h); "
+          f"{len(campaign.failures)} failures")
+
+    errors = [
+        1 - campaign.estimates[fp] / network[fp].true_capacity
+        for fp in campaign.estimates
+    ]
+    print(f"Relay capacity error: median "
+          f"{statistics.median(errors) * 100:.1f}%, "
+          f"p95 {sorted(errors)[int(0.95 * len(errors))] * 100:.1f}%")
+
+    # --- Publish the bandwidth file ---------------------------------------
+    bwfile = BandwidthFile.from_estimates(campaign.estimates, timestamp=0)
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".bwfile", delete=False
+    ) as handle:
+        handle.write(bwfile.serialize())
+        print(f"Bandwidth file with {len(bwfile)} entries written to "
+              f"{handle.name}")
+
+    reparsed = BandwidthFile.parse(bwfile.serialize())
+    assert len(reparsed) == len(bwfile)
+    print("Round-trip parse OK.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""The §3 Tor-metrics analysis on a synthetic archive.
+
+Generates an archive with the under-utilisation mechanism the paper
+identifies, runs Equations 1-7 over it, and replays the §3.4 speed-test
+flood (Figure 5).
+
+Run:  python examples/metrics_analysis.py
+"""
+
+import numpy as np
+
+from repro.metrics.analysis import (
+    PERIODS_HOURS,
+    network_capacity_error,
+    network_weight_error,
+    relay_capacity_error_means,
+    relay_weight_error_means,
+)
+from repro.metrics.datagen import ArchiveGenParams, generate_archive
+from repro.metrics.speedtest import SpeedTestParams, run_speed_test_experiment
+
+
+def main() -> None:
+    archive = generate_archive(
+        ArchiveGenParams(n_relays=200, n_days=200, seed=9)
+    )
+    print(f"Synthetic archive: {archive.n_relays} relays x "
+          f"{archive.n_hours} hours")
+
+    print("\n-- Equations 1-6 across period lengths (paper Figs 1-4) --")
+    warm = archive.n_hours // 2
+    header = f"{'period':>8} {'RCE med':>9} {'NCE med':>9} {'NWE med':>9}"
+    print(header)
+    for name in ("day", "week", "month"):
+        hours = PERIODS_HOURS[name]
+        rce = relay_capacity_error_means(
+            archive, hours, warmup_hours=min(hours, warm)
+        )
+        nce = network_capacity_error(archive, hours)[min(hours, warm):]
+        nwe = network_weight_error(archive, hours)[min(hours, warm):]
+        print(f"{name:>8} {np.nanmedian(rce) * 100:>8.1f}% "
+              f"{np.nanmedian(nce) * 100:>8.1f}% "
+              f"{np.nanmedian(nwe) * 100:>8.1f}%")
+    print("(error grows with the period -- §3's core finding)")
+
+    rwe = relay_weight_error_means(archive, 720, warmup_hours=720)
+    print(f"\nRelays under-weighted vs their capacity share: "
+          f"{np.nanmean(rwe < 1) * 100:.0f}%  (paper: >85%)")
+
+    print("\n-- §3.4 speed-test replay (Figure 5) --")
+    result = run_speed_test_experiment(
+        SpeedTestParams(base=ArchiveGenParams(n_relays=200, n_days=40, seed=9))
+    )
+    print(f"  51-hour flood discovers +"
+          f"{result.capacity_increase_fraction * 100:.0f}% capacity "
+          f"(paper: ~+50%)")
+    print(f"  weight error {result.weight_error_before * 100:.1f}% -> "
+          f"{result.weight_error_peak * 100:.1f}% during the test "
+          f"(paper: +5-10%)")
+    print(f"  estimates decay after the 5-day memory: {result.recovered}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Quickstart: measure one Tor relay with FlashFlow.
+
+Builds the paper's reference team (3 x 1 Gbit/s measurers, paper §7),
+measures a 250 Mbit/s relay, and walks through the retry-with-doubling
+logic on a relay whose prior estimate is stale.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import FlashFlowParams, quick_team
+from repro.tornet import Relay
+from repro.units import mbit, to_mbit
+
+
+def main() -> None:
+    params = FlashFlowParams()
+    print("FlashFlow parameters (paper §6.1):")
+    print(f"  sockets s = {params.n_sockets}, multiplier m = {params.multiplier}")
+    print(f"  slot t = {params.slot_seconds}s, eps = ({params.epsilon1}, "
+          f"{params.epsilon2}), ratio r = {params.ratio}")
+    print(f"  allocation factor f = {params.allocation_factor:.3f}")
+    print(f"  malicious inflation bound 1/(1-r) = {params.inflation_bound:.2f}x")
+    print()
+
+    auth = quick_team(seed=42)
+    print(f"Team: {len(auth.team)} measurers, "
+          f"{auth.team_capacity() / 1e9:.1f} Gbit/s total")
+    print()
+
+    # --- An "old" relay with an accurate prior estimate -----------------
+    relay = Relay.with_capacity("demo-relay", mbit(250), seed=1)
+    estimate = auth.measure_relay(relay, initial_estimate=mbit(250))
+    print(f"Old relay (true capacity 250 Mbit/s, good prior):")
+    print(f"  estimate {to_mbit(estimate.capacity):.1f} Mbit/s in "
+          f"{estimate.rounds} measurement round(s); "
+          f"conclusive={estimate.conclusive}")
+    lo, hi = params.accuracy_interval(mbit(250))
+    inside = lo <= estimate.capacity <= hi
+    print(f"  within ((1-eps1)x, (1+eps2)x) = "
+          f"({to_mbit(lo):.0f}, {to_mbit(hi):.0f}) Mbit/s: {inside}")
+    print()
+
+    # --- A relay whose prior badly underestimates it ---------------------
+    stale = Relay.with_capacity("stale-relay", mbit(600), seed=2)
+    estimate = auth.measure_relay(stale, initial_estimate=mbit(40))
+    print("Old relay (true capacity 600 Mbit/s, stale 40 Mbit/s prior):")
+    print(f"  estimate {to_mbit(estimate.capacity):.1f} Mbit/s after "
+          f"{estimate.rounds} rounds (z0 doubles until the allocation "
+          f"covers the relay)")
+    print()
+
+    # --- A brand-new relay ----------------------------------------------
+    new = Relay.with_capacity("new-relay", mbit(30), seed=3)
+    estimate = auth.measure_relay(new)
+    print("New relay (no prior; seeded at the 75th-percentile "
+          f"{to_mbit(params.new_relay_seed):.0f} Mbit/s):")
+    print(f"  estimate {to_mbit(estimate.capacity):.1f} Mbit/s in "
+          f"{estimate.rounds} round(s)")
+
+
+if __name__ == "__main__":
+    main()

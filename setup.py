@@ -1,0 +1,12 @@
+"""Thin setup shim.
+
+The build environment for this reproduction has no network access and no
+``wheel`` package, so PEP 517 editable installs fail. This file lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (legacy
+``setup.py develop``) install the package; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

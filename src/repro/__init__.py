@@ -1,0 +1,77 @@
+"""FlashFlow reproduction: a secure speed test for Tor.
+
+This package reproduces *FlashFlow: A Secure Speed Test for Tor* (Traudt,
+Jansen, Johnson -- ICDCS 2021) end to end:
+
+- :mod:`repro.core` -- FlashFlow itself: the secure, active, team-based
+  relay capacity measurement protocol;
+- :mod:`repro.netsim` -- the network substrate (hosts, TCP/UDP fluid
+  models, max-min fairness, iPerf);
+- :mod:`repro.tornet` -- the Tor substrate (cells, relays, schedulers,
+  descriptors, consensuses, authorities, path selection);
+- :mod:`repro.torflow` -- the TorFlow / EigenSpeed / PeerFlow baselines;
+- :mod:`repro.metrics` -- the §3 Tor-metrics analysis pipeline and its
+  synthetic archive generator;
+- :mod:`repro.shadow` -- the flow-level whole-network simulator behind the
+  paper's Shadow experiments (§7);
+- :mod:`repro.attacks` -- adversarial relay behaviours and the security
+  analysis (§5).
+
+Quickstart::
+
+    from repro import quick_team, FlashFlowParams
+    from repro.tornet import Relay
+    from repro.units import mbit
+
+    auth = quick_team()
+    relay = Relay.with_capacity("example", mbit(250))
+    estimate = auth.measure_relay(relay)
+    print(estimate.capacity / 1e6, "Mbit/s")
+"""
+
+from repro.core import FlashFlowParams, FlashFlowAuthority, Measurer
+from repro.netsim import Host, NetworkModel
+from repro.units import gbit, mbit
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FlashFlowAuthority",
+    "FlashFlowParams",
+    "Host",
+    "Measurer",
+    "NetworkModel",
+    "quick_team",
+    "__version__",
+]
+
+
+def quick_team(
+    n_measurers: int = 3,
+    capacity_each: float = gbit(1.0),
+    params: FlashFlowParams | None = None,
+    seed: int = 0,
+) -> FlashFlowAuthority:
+    """Build the paper's reference deployment: 3 x 1 Gbit/s measurers.
+
+    Measurer capacities are taken as given (as if already measured via
+    iPerf); pass a :class:`NetworkModel` -backed team for the full
+    measure-the-measurers flow.
+    """
+    team = []
+    for index in range(n_measurers):
+        host = Host(
+            name=f"measurer{index}",
+            link_capacity=capacity_each,
+            cpu_cores=4,
+        )
+        team.append(
+            Measurer(
+                name=f"measurer{index}",
+                host=host,
+                measured_capacity=capacity_each,
+            )
+        )
+    return FlashFlowAuthority(
+        name="bwauth0", team=team, params=params, seed=seed
+    )

@@ -1,0 +1,36 @@
+"""Adversarial relay behaviours and the security analysis (paper §5).
+
+- :mod:`repro.attacks.relays` -- malicious relay behaviours that plug into
+  :class:`repro.tornet.relay.Relay`: lying about background traffic,
+  forging echo cells, showing capacity only when measured, Sybil floods;
+- :mod:`repro.attacks.analysis` -- the closed-form security results:
+  the 1/(1-r) inflation bound, forge-detection probabilities, and the
+  binomial analysis of selective-capacity strategies against the
+  median-of-BWAuths aggregation.
+"""
+
+from repro.attacks.analysis import (
+    forge_evasion_probability,
+    inflation_bound,
+    selective_capacity_failure_probability,
+    torflow_self_report_attack,
+)
+from repro.attacks.relays import (
+    ForgingRelayBehavior,
+    RatioCheatingRelayBehavior,
+    SelectiveCapacityRelayBehavior,
+    TrafficLiarRelayBehavior,
+    make_sybil_flood,
+)
+
+__all__ = [
+    "ForgingRelayBehavior",
+    "RatioCheatingRelayBehavior",
+    "SelectiveCapacityRelayBehavior",
+    "TrafficLiarRelayBehavior",
+    "forge_evasion_probability",
+    "inflation_bound",
+    "make_sybil_flood",
+    "selective_capacity_failure_probability",
+    "torflow_self_report_attack",
+]

@@ -1,0 +1,106 @@
+"""Closed-form security analysis (paper §5).
+
+Implements the quantitative claims of the paper's security section so the
+benches can check the implemented attacks against theory:
+
+- the traffic-lying inflation bound ``1/(1-r)``;
+- forge-evasion probability ``(1-p)^k``;
+- the binomial failure probability of a selective-capacity strategy
+  against the median of ``n`` independently, secretly scheduled BWAuth
+  measurements;
+- the TorFlow self-report attack model (Table 2's 89x-177x advantage).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def inflation_bound(ratio: float) -> float:
+    """Max capacity-estimate inflation from lying about traffic: 1/(1-r)."""
+    if not 0 <= ratio < 1:
+        raise ValueError("ratio must be in [0, 1)")
+    return 1.0 / (1.0 - ratio)
+
+
+def forge_evasion_probability(p_check: float, forged_cells: int) -> float:
+    """Probability a relay forging ``k`` responses evades all checks.
+
+    Paper §5: "a malicious relay that forges k responses has approximately
+    a (1-p)^k chance of evading detection" (the paper's exponent is
+    written with a sign typo; the meaning is the decaying form).
+    """
+    if not 0 <= p_check <= 1:
+        raise ValueError("p_check must be a probability")
+    if forged_cells < 0:
+        raise ValueError("cell count cannot be negative")
+    return (1.0 - p_check) ** forged_cells
+
+
+def selective_capacity_failure_probability(
+    n_bwauths: int, active_fraction: float
+) -> float:
+    """Probability a selective-capacity relay fails to move its median.
+
+    The relay provides high capacity during a fraction ``q`` of slots; it
+    is measured once per period by each of ``n`` BWAuths at independent
+    secret times. Its median measurement stays *low* if at least half of
+    the measurements land in low-capacity slots:
+
+        P[fail] = sum_{k = ceil(n/2)}^{n} C(n, k) (1-q)^k q^(n-k)
+
+    For q < 1/2 this is at least 0.5 (paper §5).
+    """
+    if n_bwauths <= 0:
+        raise ValueError("need at least one BWAuth")
+    if not 0 <= active_fraction <= 1:
+        raise ValueError("active fraction must be a probability")
+    q = active_fraction
+    threshold = math.ceil(n_bwauths / 2)
+    return sum(
+        math.comb(n_bwauths, k) * (1 - q) ** k * q ** (n_bwauths - k)
+        for k in range(threshold, n_bwauths + 1)
+    )
+
+
+def expected_selective_gain(
+    n_bwauths: int, active_fraction: float, idle_fraction: float
+) -> float:
+    """Expected relative capacity estimate of a selective relay.
+
+    The median lands high only when more than half the measurements hit
+    active slots; returns E[median]/true_capacity.
+    """
+    p_fail = selective_capacity_failure_probability(n_bwauths, active_fraction)
+    return p_fail * idle_fraction + (1.0 - p_fail) * 1.0
+
+
+def torflow_self_report_attack(
+    true_capacity: float,
+    reported_capacity: float,
+    measured_ratio: float = 1.0,
+) -> float:
+    """Weight-inflation factor of TorFlow's self-report attack.
+
+    TorFlow multiplies the self-reported advertised bandwidth by the
+    measured speed ratio; nothing validates the self-report, so the
+    advantage is simply ``reported/true`` scaled by whatever ratio the
+    relay still earns. Thill [36] demonstrated 89x and PeerFlow's authors
+    177x on the live network.
+    """
+    if true_capacity <= 0:
+        raise ValueError("true capacity must be positive")
+    return (reported_capacity / true_capacity) * measured_ratio
+
+
+def dos_exposure_fraction(slot_seconds: int, period_seconds: int,
+                          n_bwauths: int) -> float:
+    """Fraction of a period an attacker must DoS a relay to hit its median.
+
+    Without schedule knowledge, a denial-of-service attack must cover at
+    least half of each period's slots to expect to affect the median of
+    the BWAuths' measurements (paper §5) -- i.e. a full-period attack, at
+    which point it is an ordinary (and highly visible) DoS.
+    """
+    del slot_seconds, period_seconds, n_bwauths
+    return 0.5

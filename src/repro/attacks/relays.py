@@ -1,0 +1,158 @@
+"""Malicious relay behaviours (paper §5).
+
+Each behaviour plugs into :class:`repro.tornet.relay.Relay` and implements
+one of the §5 attack strategies. The FlashFlow protocol bounds what every
+one of them can achieve:
+
+- :class:`TrafficLiarRelayBehavior` -- report background traffic that was
+  never forwarded; the BWAuth's clamp limits the gain to ``1/(1-r)``;
+- :class:`RatioCheatingRelayBehavior` -- send no background traffic at all
+  while claiming the full allowance (the strongest traffic lie);
+- :class:`ForgingRelayBehavior` -- echo cells without decrypting them;
+  random content checks catch ``k`` forgeries with probability
+  ``1 - (1-p)^k``;
+- :class:`SelectiveCapacityRelayBehavior` -- provide full capacity only
+  while being measured (or only in a fraction ``q`` of slots); the
+  secret schedule plus median-of-BWAuths aggregation defeats it.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+from repro.tornet.cell import PAYLOAD_LEN
+from repro.tornet.network import TorNetwork
+from repro.tornet.relay import Relay, RelayBehavior
+
+
+class TrafficLiarRelayBehavior(RelayBehavior):
+    """Over-report forwarded background traffic by ``lie_factor``.
+
+    The relay still forwards real background traffic, but claims
+    ``lie_factor`` times as much. The BWAuth's clamp
+    ``y <= x * r/(1-r)`` bounds the damage regardless of the factor.
+    """
+
+    name = "traffic-liar"
+
+    def __init__(self, lie_factor: float = 1000.0):
+        if lie_factor < 1:
+            raise ValueError("a liar reports at least the true amount")
+        self.lie_factor = lie_factor
+
+    def report_background(self, actual_bytes: float, relay: Relay) -> float:
+        return actual_bytes * self.lie_factor
+
+
+class RatioCheatingRelayBehavior(RelayBehavior):
+    """Send *no* normal traffic, give everything to measurement, and
+    report the maximum normal traffic the ratio would have allowed.
+
+    This is the paper's worst case: "A malicious relay could send no
+    normal traffic but report the full amount, and it could thereby
+    inflate its capacity estimate by a factor 1/(1-r) above the truth."
+    """
+
+    name = "ratio-cheater"
+
+    def __init__(self, claimed_ratio: float = 0.25):
+        if not 0 <= claimed_ratio < 1:
+            raise ValueError("claimed ratio must be in [0, 1)")
+        self.claimed_ratio = claimed_ratio
+        self._last_measurement_bytes = 0.0
+
+    def enforces_ratio(self) -> bool:
+        return False
+
+    def report_background(self, actual_bytes: float, relay: Relay) -> float:
+        # Claim the full allowance relative to observed measurement
+        # traffic; the relay knows x (it forwarded it), so it reports the
+        # largest y the BWAuth might believe. Claiming even more changes
+        # nothing -- the clamp wins either way.
+        del actual_bytes
+        return float("inf")
+
+
+class ForgingRelayBehavior(RelayBehavior):
+    """Echo measurement cells without decrypting (saving CPU).
+
+    ``forge_fraction`` is the fraction of cells forged; forging all cells
+    maximises the CPU saved but also the detection probability.
+    """
+
+    name = "forger"
+
+    def __init__(self, forge_fraction: float = 1.0, seed: int = 0):
+        if not 0 < forge_fraction <= 1:
+            raise ValueError("forge fraction must be in (0, 1]")
+        self.forge_fraction = forge_fraction
+        self._rng = random.Random(seed)
+        self.cells_forged = 0
+
+    def echo_payload(self, correct_payload: bytes, relay: Relay) -> bytes:
+        if self._rng.random() < self.forge_fraction:
+            self.cells_forged += 1
+            return os.urandom(PAYLOAD_LEN)
+        return correct_payload
+
+    def capacity_factor(self, being_measured: bool, relay: Relay) -> float:
+        # Skipping decryption frees CPU: a forger can push ~35% more cells
+        # (cell crypto is roughly a third of Tor's forwarding cost).
+        return 1.35 if being_measured else 1.0
+
+
+class SelectiveCapacityRelayBehavior(RelayBehavior):
+    """Provide full capacity only during chosen slots (paper §5).
+
+    ``active_fraction`` is the fraction q of measurement slots during
+    which the relay runs at full capacity; the rest of the time it only
+    provides ``idle_fraction`` of it. Because the schedule is secret, the
+    relay cannot target actual measurement slots and must gamble; the
+    median over BWAuths then fails it with probability >= 0.5 whenever
+    q < 1/2. Call :meth:`roll_slot` when a measurement begins.
+    """
+
+    name = "selective-capacity"
+
+    def __init__(self, active_fraction: float = 0.25,
+                 idle_fraction: float = 0.1, seed: int = 0):
+        if not 0 <= active_fraction <= 1:
+            raise ValueError("active fraction must be in [0, 1]")
+        self.active_fraction = active_fraction
+        self.idle_fraction = idle_fraction
+        self._rng = random.Random(seed)
+        self._currently_active = False
+
+    def roll_slot(self) -> bool:
+        """Decide (blindly) whether to be at full capacity this slot."""
+        self._currently_active = self._rng.random() < self.active_fraction
+        return self._currently_active
+
+    def capacity_factor(self, being_measured: bool, relay: Relay) -> float:
+        del being_measured  # The relay cannot see the secret schedule.
+        return 1.0 if self._currently_active else self.idle_fraction
+
+
+def make_sybil_flood(
+    n_sybils: int,
+    capacity_bits: float,
+    prefix: str = "sybil",
+    seed: int = 0,
+) -> TorNetwork:
+    """A flood of new relays (paper §5's Sybil discussion).
+
+    All Sybils share one machine's capacity; each claims it fully. Used
+    to test that old relays keep their guaranteed schedule slots and new
+    relays are measured FCFS without starving the period.
+    """
+    network = TorNetwork()
+    for index in range(n_sybils):
+        network.add(
+            Relay.with_capacity(
+                fingerprint=f"{prefix}{index:05d}",
+                capacity_bits=capacity_bits,
+                seed=seed + index,
+            )
+        )
+    return network

@@ -1,0 +1,55 @@
+"""Multi-BWAuth aggregation (paper §4, §5).
+
+Each DirAuth trusts one BWAuth; the DirAuths put the **median** of the
+BWAuths' measurements into the consensus. The median is what defeats
+selective-capacity relays: a relay that shows high capacity during fewer
+than half of the (independently, secretly scheduled) measurements cannot
+move its median (paper §5).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.errors import ProtocolError
+from repro.tornet.authority import build_consensus
+from repro.tornet.consensus import Consensus
+
+
+def aggregate_bwauth_votes(
+    votes: dict[str, dict[str, float]], min_votes: int | None = None
+) -> dict[str, float]:
+    """Median-aggregate per-BWAuth capacity votes.
+
+    ``votes`` maps bwauth name -> {fingerprint -> capacity estimate}. A
+    relay needs measurements from a majority of BWAuths (Tor's rule for
+    using new relays, paper §2) unless ``min_votes`` overrides it.
+    """
+    if not votes:
+        raise ProtocolError("no BWAuth votes to aggregate")
+    needed = (len(votes) // 2 + 1) if min_votes is None else min_votes
+    by_relay: dict[str, list[float]] = {}
+    for bwauth_votes in votes.values():
+        for fingerprint, value in bwauth_votes.items():
+            by_relay.setdefault(fingerprint, []).append(value)
+    return {
+        fingerprint: float(statistics.median(values))
+        for fingerprint, values in by_relay.items()
+        if len(values) >= needed
+    }
+
+
+def consensus_from_votes(
+    votes: dict[str, dict[str, float]],
+    valid_after: int = 0,
+    flags: dict[str, frozenset[str]] | None = None,
+    min_votes: int | None = None,
+) -> Consensus:
+    """Build a consensus whose weights are the aggregated capacities."""
+    needed = (len(votes) // 2 + 1) if min_votes is None else min_votes
+    return build_consensus(
+        valid_after=valid_after,
+        bwauth_weights=votes,
+        flags=flags,
+        min_votes=needed,
+    )

@@ -1,0 +1,106 @@
+"""Continuous multi-period operation (paper §4.3 / §5).
+
+A :class:`Deployment` runs a BWAuth across successive 24-hour measurement
+periods: each period re-measures every known relay (old relays first,
+using the previous period's estimates as z0), folds in newly appeared
+relays FCFS, ages out relays unseen for a month (they become "new"
+again), and publishes a bandwidth file per period.
+
+This is the loop the paper's security arguments lean on: relays are
+re-measured every period, so a malicious relay "can only reduce its
+capacity until the next period".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.bwauth import FlashFlowAuthority
+from repro.core.bwfile import BandwidthFile
+from repro.core.netmeasure import CampaignResult, measure_network
+from repro.tornet.network import TorNetwork
+from repro.units import DAY
+
+#: Estimates older than this many periods are no longer trusted: the
+#: relay is treated as new again (paper §4.2: "were last measured so
+#: long ago (e.g., a month)").
+ESTIMATE_MAX_AGE_PERIODS = 30
+
+
+@dataclass
+class PeriodRecord:
+    """One period's outputs."""
+
+    period_index: int
+    campaign: CampaignResult
+    bwfile: BandwidthFile
+
+    @property
+    def estimates(self) -> dict[str, float]:
+        return self.campaign.estimates
+
+
+@dataclass
+class Deployment:
+    """A BWAuth operating over consecutive measurement periods."""
+
+    authority: FlashFlowAuthority
+    full_simulation: bool = True
+    #: fingerprint -> (estimate bits/s, period last measured).
+    _history: dict[str, tuple[float, int]] = field(default_factory=dict)
+    periods: list[PeriodRecord] = field(default_factory=list)
+
+    @property
+    def current_period(self) -> int:
+        return len(self.periods)
+
+    def known_estimates(self) -> dict[str, float]:
+        """Estimates still fresh enough to be used as priors."""
+        now = self.current_period
+        return {
+            fp: estimate
+            for fp, (estimate, measured_at) in self._history.items()
+            if now - measured_at <= ESTIMATE_MAX_AGE_PERIODS
+        }
+
+    def run_period(
+        self,
+        network: TorNetwork,
+        background_demand: float | dict[str, float] = 0.0,
+    ) -> PeriodRecord:
+        """Measure every relay currently in ``network`` once."""
+        period_index = self.current_period
+        priors = {
+            fp: estimate
+            for fp, estimate in self.known_estimates().items()
+            if fp in network
+        }
+        campaign = measure_network(
+            network,
+            self.authority,
+            prior_estimates=priors,
+            background_demand=background_demand,
+            full_simulation=self.full_simulation,
+        )
+        for fp, estimate in campaign.estimates.items():
+            self._history[fp] = (estimate, period_index)
+        bwfile = BandwidthFile.from_estimates(
+            campaign.estimates,
+            timestamp=period_index * DAY,
+            generator=self.authority.name,
+        )
+        record = PeriodRecord(
+            period_index=period_index, campaign=campaign, bwfile=bwfile
+        )
+        self.periods.append(record)
+        return record
+
+    def estimate_age(self, fingerprint: str) -> int | None:
+        """Completed periods since ``fingerprint`` was last measured.
+
+        0 means it was measured in the most recent period; None = never.
+        """
+        if fingerprint not in self._history:
+            return None
+        last_completed = self.current_period - 1
+        return last_completed - self._history[fingerprint][1]

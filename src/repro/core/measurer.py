@@ -1,0 +1,132 @@
+"""Measurers and measuring processes (paper §4, §4.1).
+
+A measurer is a host whose resources are dedicated to measurement. For
+each measurement a measurer participates in, "a modified Tor process is
+started on each CPU core without an existing measurement process (and
+always at least one)"; the per-process traffic rate is limited to
+``a_i / k_i`` by setting BandwidthRate, and the measurer's socket share
+``s/m`` is split evenly across its processes.
+
+The measurer's network capacity -- used by the allocation logic -- comes
+from the BWAuth's iPerf-style measurement of the team (§4.2), not from
+self-reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.netsim.hosts import Host
+from repro.tornet.tokenbucket import TokenBucket
+
+
+@dataclass
+class MeasuringProcess:
+    """One modified-Tor process on a measurer core."""
+
+    index: int
+    rate_limit: float
+    n_sockets: int
+    _bucket: TokenBucket = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.rate_limit < 0:
+            raise ConfigurationError("process rate limit cannot be negative")
+        if self.n_sockets < 0:
+            raise ConfigurationError("socket count cannot be negative")
+        self._bucket = TokenBucket(rate=self.rate_limit / 8.0)
+
+    def sendable_bits(self) -> float:
+        """Bits this process may send this second under its BandwidthRate."""
+        self._bucket.refill(1.0)
+        return self._bucket.available() * 8.0
+
+    def consume(self, bits: float) -> None:
+        self._bucket.consume(bits / 8.0)
+
+
+@dataclass
+class Measurer:
+    """A measurement host in a BWAuth's team."""
+
+    name: str
+    host: Host
+    #: Network forwarding capacity (bit/s) as measured by the BWAuth via
+    #: iPerf (paper §4.2); ``None`` until measured.
+    measured_capacity: float | None = None
+    #: Capacity already committed to in-flight measurements (bit/s).
+    committed: float = 0.0
+    #: Identity public key, registered with target relays by the BWAuth.
+    public_key: int | None = None
+
+    @property
+    def capacity(self) -> float:
+        """Usable capacity: the iPerf estimate, else the link rate."""
+        if self.measured_capacity is not None:
+            return self.measured_capacity
+        return self.host.link_capacity
+
+    @property
+    def residual_capacity(self) -> float:
+        """Capacity not yet committed to other concurrent measurements."""
+        return max(0.0, self.capacity - self.committed)
+
+    def commit(self, amount: float) -> None:
+        if amount > self.residual_capacity + 1e-6:
+            raise ConfigurationError(
+                f"measurer {self.name} cannot commit {amount:.0f} bit/s "
+                f"(residual {self.residual_capacity:.0f})"
+            )
+        self.committed += amount
+
+    def release(self, amount: float) -> None:
+        self.committed = max(0.0, self.committed - amount)
+
+    def spawn_processes(
+        self, allocated: float, socket_share: int
+    ) -> list[MeasuringProcess]:
+        """Start measuring processes for one measurement (paper §4.1).
+
+        One process per free core (always at least one), each rate-limited
+        to ``allocated / k`` and owning an even share of the sockets.
+        """
+        if allocated < 0:
+            raise ConfigurationError("allocation cannot be negative")
+        k = max(1, self.host.cpu_cores)
+        per_process_sockets = max(1, socket_share // k) if socket_share else 0
+        processes = []
+        for index in range(k):
+            processes.append(
+                MeasuringProcess(
+                    index=index,
+                    rate_limit=allocated / k,
+                    n_sockets=per_process_sockets,
+                )
+            )
+        return processes
+
+
+def team_capacity(team: list[Measurer]) -> float:
+    """Total capacity of a measurement team (bit/s)."""
+    return sum(m.capacity for m in team)
+
+
+def sufficient_team(team: list[Measurer], max_relay_capacity: float,
+                    allocation_factor: float) -> bool:
+    """Check the paper's team-sufficiency condition (§4).
+
+    A team is sufficient if its summed capacity is at least ``f`` times
+    the highest relay capacity it must measure.
+    """
+    return team_capacity(team) >= allocation_factor * max_relay_capacity
+
+
+def socket_shares(n_sockets: int, n_measurers: int) -> list[int]:
+    """Split ``n_sockets`` evenly across measurers (remainder to the first)."""
+    if n_measurers <= 0:
+        raise ConfigurationError("need at least one measurer")
+    base = n_sockets // n_measurers
+    remainder = n_sockets - base * n_measurers
+    return [base + (1 if i < remainder else 0) for i in range(n_measurers)]

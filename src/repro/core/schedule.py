@@ -1,0 +1,196 @@
+"""Measurement scheduling (paper §4.3).
+
+Each 24-hour period is divided into t-second slots. Before a period
+starts, the BWAuths derive a shared random seed (Tor's shared-randomness
+protocol); each then locally computes the same schedule:
+
+- every *old* relay gets a slot chosen uniformly at random among slots with
+  enough unallocated team capacity for ``f * z0``;
+- *new* relays are measured first-come-first-served in the earliest slots
+  with sufficient residual capacity.
+
+The schedule is secret (derived from the private seed), which prevents
+both selective-capacity relays and targeted denial-of-service (§5).
+
+:func:`greedy_pack_slots` implements the §7 efficiency scheduler: pack
+relays largest-first into consecutive slots to find the *fastest* the
+network can be measured.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.params import FlashFlowParams
+from repro.errors import ScheduleError
+
+
+@dataclass
+class SlotAssignment:
+    """One relay's scheduled measurement."""
+
+    fingerprint: str
+    slot: int
+    required_capacity: float
+    is_new: bool = False
+
+
+@dataclass
+class PeriodSchedule:
+    """A full measurement period's schedule for one BWAuth."""
+
+    params: FlashFlowParams
+    team_capacity: float
+    seed: bytes
+    assignments: dict[str, SlotAssignment] = field(default_factory=dict)
+    slot_load: dict[int, float] = field(init=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.team_capacity <= 0:
+            raise ScheduleError("team capacity must be positive")
+
+    @property
+    def n_slots(self) -> int:
+        return self.params.slots_per_period
+
+    def residual(self, slot: int) -> float:
+        return self.team_capacity - self.slot_load.get(slot, 0.0)
+
+    def _place(self, assignment: SlotAssignment) -> None:
+        if assignment.fingerprint in self.assignments:
+            raise ScheduleError(
+                f"{assignment.fingerprint} already scheduled this period"
+            )
+        if assignment.required_capacity > self.residual(assignment.slot) + 1e-6:
+            raise ScheduleError(
+                f"slot {assignment.slot} lacks capacity for "
+                f"{assignment.fingerprint}"
+            )
+        self.assignments[assignment.fingerprint] = assignment
+        self.slot_load[assignment.slot] = (
+            self.slot_load.get(assignment.slot, 0.0)
+            + assignment.required_capacity
+        )
+
+    @classmethod
+    def build(
+        cls,
+        params: FlashFlowParams,
+        team_capacity: float,
+        estimates: dict[str, float],
+        seed: bytes,
+    ) -> "PeriodSchedule":
+        """Schedule every old relay at a random feasible slot.
+
+        ``estimates`` maps fingerprint -> existing capacity estimate z0.
+        Required slot capacity per relay is ``min(f * z0, team capacity)``
+        (a relay guessed above what the team can supply still gets its
+        best-effort full-team slot).
+        """
+        schedule = cls(params=params, team_capacity=team_capacity, seed=seed)
+        rng = random.Random(seed)
+        order = sorted(estimates)  # determinism: same seed => same schedule
+        rng.shuffle(order)
+        for fingerprint in order:
+            required = min(
+                params.allocation_factor * max(estimates[fingerprint], 1.0),
+                team_capacity,
+            )
+            feasible = [
+                slot
+                for slot in range(schedule.n_slots)
+                if schedule.residual(slot) + 1e-6 >= required
+            ]
+            if not feasible:
+                raise ScheduleError(
+                    f"no slot can hold {fingerprint} "
+                    f"(needs {required:.0f} bit/s)"
+                )
+            slot = rng.choice(feasible)
+            schedule._place(
+                SlotAssignment(
+                    fingerprint=fingerprint,
+                    slot=slot,
+                    required_capacity=required,
+                )
+            )
+        return schedule
+
+    def add_new_relay(self, fingerprint: str, z0: float,
+                      earliest_slot: int = 0) -> SlotAssignment:
+        """Schedule a newly appeared relay FCFS (paper §4.3).
+
+        New relays take the first slot at/after ``earliest_slot`` (their
+        arrival time) with enough residual capacity.
+        """
+        required = min(
+            self.params.allocation_factor * max(z0, 1.0), self.team_capacity
+        )
+        for slot in range(earliest_slot, self.n_slots):
+            if self.residual(slot) + 1e-6 >= required:
+                assignment = SlotAssignment(
+                    fingerprint=fingerprint,
+                    slot=slot,
+                    required_capacity=required,
+                    is_new=True,
+                )
+                self._place(assignment)
+                return assignment
+        raise ScheduleError(
+            f"no remaining slot can hold new relay {fingerprint}"
+        )
+
+    def slots_in_use(self) -> int:
+        return len(self.slot_load)
+
+    def makespan_slots(self) -> int:
+        """Index (exclusive) of the last used slot."""
+        if not self.slot_load:
+            return 0
+        return max(self.slot_load) + 1
+
+    def by_slot(self) -> dict[int, list[SlotAssignment]]:
+        out: dict[int, list[SlotAssignment]] = {}
+        for a in self.assignments.values():
+            out.setdefault(a.slot, []).append(a)
+        return out
+
+
+def greedy_pack_slots(
+    estimates: dict[str, float],
+    params: FlashFlowParams,
+    team_capacity: float,
+) -> list[list[str]]:
+    """Pack relays into the fewest consecutive slots (paper §7).
+
+    "We greedily assign relays to each slot in order, with each assignment
+    choosing the largest relay for which there is available capacity to
+    measure." Returns the list of slots, each a list of fingerprints.
+    """
+    remaining = sorted(
+        estimates, key=lambda fp: estimates[fp], reverse=True
+    )
+    required = {
+        fp: min(params.allocation_factor * max(estimates[fp], 1.0),
+                team_capacity)
+        for fp in estimates
+    }
+    slots: list[list[str]] = []
+    while remaining:
+        residual = team_capacity
+        slot: list[str] = []
+        still_remaining: list[str] = []
+        for fp in remaining:
+            if required[fp] <= residual + 1e-6:
+                slot.append(fp)
+                residual -= required[fp]
+            else:
+                still_remaining.append(fp)
+        if not slot:
+            raise ScheduleError(
+                "a relay requires more than the whole team capacity"
+            )
+        slots.append(slot)
+        remaining = still_remaining
+    return slots

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the FlashFlow reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured with invalid or inconsistent parameters."""
+
+
+class AllocationError(ReproError):
+    """The measurement team cannot supply the requested measurer capacity."""
+
+
+class MeasurementFailure(ReproError):
+    """A measurement slot was aborted (e.g. a failed echo-cell check)."""
+
+    def __init__(self, message: str, relay_fingerprint: str | None = None):
+        super().__init__(message)
+        self.relay_fingerprint = relay_fingerprint
+
+
+class VerificationFailure(MeasurementFailure):
+    """A sampled echo cell came back with incorrect contents (paper §4.1)."""
+
+
+class AuthenticationError(ReproError):
+    """A protocol message failed authentication (paper §4.1 setup)."""
+
+
+class ScheduleError(ReproError):
+    """The measurement schedule could not be constructed or was violated."""
+
+
+class ProtocolError(ReproError):
+    """A peer violated the measurement protocol state machine."""

@@ -1,0 +1,42 @@
+"""Tor metrics analysis (paper §3 and Appendix A).
+
+The paper quantifies TorFlow's capacity-estimation and load-balancing
+error from 11 years of archived Tor metrics data. This package rebuilds
+that pipeline:
+
+- :mod:`repro.metrics.archive` -- the archive data structures (hourly
+  advertised bandwidths and consensus weights per relay);
+- :mod:`repro.metrics.datagen` -- a synthetic archive generator driven by
+  the mechanism the paper identifies (the observed-bandwidth heuristic
+  under persistent under-utilisation with a weight feedback loop);
+- :mod:`repro.metrics.analysis` -- Equations 1-7: relay/network capacity
+  error, relay/network weight error, and relative standard deviations;
+- :mod:`repro.metrics.speedtest` -- the §3.4 live flood experiment replay
+  (Figure 5).
+"""
+
+from repro.metrics.analysis import (
+    capacity_proxy,
+    network_capacity_error,
+    network_weight_error,
+    relay_capacity_error_means,
+    relay_weight_error_means,
+    relative_std_means,
+)
+from repro.metrics.archive import MetricsArchive
+from repro.metrics.datagen import ArchiveGenParams, generate_archive
+from repro.metrics.speedtest import SpeedTestParams, run_speed_test_experiment
+
+__all__ = [
+    "ArchiveGenParams",
+    "MetricsArchive",
+    "SpeedTestParams",
+    "capacity_proxy",
+    "generate_archive",
+    "network_capacity_error",
+    "network_weight_error",
+    "relay_capacity_error_means",
+    "relay_weight_error_means",
+    "relative_std_means",
+    "run_speed_test_experiment",
+]

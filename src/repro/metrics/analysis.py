@@ -1,0 +1,246 @@
+"""Equations 1-7 of the paper's §3 / Appendix A analysis.
+
+All functions operate on :class:`repro.metrics.archive.MetricsArchive`
+arrays. Period lengths ``p`` are given in hours (the archive's native
+granularity); the paper's day/week/month/year correspond to
+24 / 168 / 720 / 8760.
+
+- Eq 1: ``C(r,t,p) = max(A(r,t,p))`` -- the true-capacity proxy;
+- Eq 2: ``RCE(r,t,p) = 1 - A(r,t)/C(r,t,p)`` -- relay capacity error;
+- Eq 3: ``NCE(t,p) = 1 - sum_r A(r,t) / sum_r C(r,t,p)``;
+- Eq 4: ``Cbar(r,t,p) = C/sum_s C`` -- normalized capacity;
+- Eq 5: ``RWE(r,t,p) = W(r,t)/Cbar(r,t,p)`` -- relay weight error;
+- Eq 6: ``NWE(t,p) = 1/2 sum_r |W - Cbar|`` -- total variation distance;
+- Eq 7: ``RSD(V) = stdev(V)/mean(V)`` -- relative standard deviation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.metrics.archive import MetricsArchive
+
+#: Paper period lengths, hours.
+PERIODS_HOURS = {"day": 24, "week": 168, "month": 720, "year": 8760}
+
+
+def _trailing_max_exact(values: np.ndarray, window: int) -> np.ndarray:
+    """Per-row max over the trailing ``window`` samples (inclusive).
+
+    The first ``window - 1`` columns use an expanding window (max over
+    what exists so far), matching the paper's treatment of archive edges.
+
+    Implemented with the van Herk / Gil-Werman two-pass block algorithm:
+    O(n) time and memory per row regardless of window size (a year-long
+    window over an 11-year archive would otherwise need n x window
+    scratch space).
+    """
+    if window <= 0:
+        raise ConfigurationError("window must be positive")
+    n = values.shape[-1]
+    window = min(window, n)
+    if window == 1:
+        return values.copy()
+
+    # Pad the front so every output index has a full (virtual) window,
+    # and the back so the length is a multiple of the window.
+    front = window - 1
+    total = front + n
+    back = (-total) % window
+    padded = np.concatenate(
+        [
+            np.full(values.shape[:-1] + (front,), -np.inf),
+            values,
+            np.full(values.shape[:-1] + (back,), -np.inf),
+        ],
+        axis=-1,
+    )
+    blocks = padded.reshape(values.shape[:-1] + (-1, window))
+    # Prefix max within each block, and suffix max within each block.
+    prefix = np.maximum.accumulate(blocks, axis=-1).reshape(
+        values.shape[:-1] + (-1,)
+    )
+    suffix = np.maximum.accumulate(blocks[..., ::-1], axis=-1)[..., ::-1]
+    suffix = suffix.reshape(values.shape[:-1] + (-1,))
+    # Window ending at padded index j spans [j - window + 1, j]: its max is
+    # max(suffix at the window start, prefix at the window end).
+    ends = np.arange(front, front + n)
+    starts = ends - window + 1
+    return np.maximum(suffix[..., starts], prefix[..., ends])
+
+
+def capacity_proxy(archive: MetricsArchive, period_hours: int) -> np.ndarray:
+    """Eq 1: C(r,t,p) = max advertised bandwidth over the trailing period.
+
+    Offline hours contribute nothing; a relay with no published value in
+    the window gets NaN.
+    """
+    adv = archive.masked_advertised()
+    filled = np.where(np.isnan(adv), -np.inf, adv)
+    proxy = _trailing_max_exact(filled, period_hours)
+    proxy[np.isinf(proxy)] = np.nan
+    return proxy
+
+
+def relay_capacity_error(
+    archive: MetricsArchive, period_hours: int
+) -> np.ndarray:
+    """Eq 2 per (relay, hour): 1 - A(r,t)/C(r,t,p); NaN where undefined."""
+    adv = archive.masked_advertised()
+    proxy = capacity_proxy(archive, period_hours)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        error = 1.0 - adv / proxy
+    error[~np.isfinite(error)] = np.nan
+    return error
+
+
+def relay_capacity_error_means(
+    archive: MetricsArchive, period_hours: int, warmup_hours: int | None = None
+) -> np.ndarray:
+    """Figure 1's statistic: mean RCE per relay over all hours.
+
+    ``warmup_hours`` drops the initial stretch where the trailing window
+    has little data (the paper starts its means a year into the archive).
+    """
+    error = relay_capacity_error(archive, period_hours)
+    start = period_hours if warmup_hours is None else warmup_hours
+    start = min(start, max(0, error.shape[1] - 1))
+    with np.errstate(invalid="ignore"):
+        return np.nanmean(error[:, start:], axis=1)
+
+
+def network_capacity_error(
+    archive: MetricsArchive, period_hours: int
+) -> np.ndarray:
+    """Eq 3 per hour: 1 - sum A(r,t) / sum C(r,t,p) over online relays."""
+    adv = archive.masked_advertised()
+    proxy = capacity_proxy(archive, period_hours)
+    both = ~np.isnan(adv) & ~np.isnan(proxy)
+    adv_sum = np.where(both, adv, 0.0).sum(axis=0)
+    proxy_sum = np.where(both, proxy, 0.0).sum(axis=0)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        nce = 1.0 - adv_sum / proxy_sum
+    nce[~np.isfinite(nce)] = np.nan
+    return nce
+
+
+def normalized_capacity(
+    archive: MetricsArchive, period_hours: int
+) -> np.ndarray:
+    """Eq 4 per (relay, hour): C(r,t,p) / sum_s C(s,t,p)."""
+    proxy = capacity_proxy(archive, period_hours)
+    valid = ~np.isnan(proxy)
+    totals = np.where(valid, proxy, 0.0).sum(axis=0)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return proxy / totals
+
+
+def relay_weight_error(
+    archive: MetricsArchive, period_hours: int
+) -> np.ndarray:
+    """Eq 5 per (relay, hour): W(r,t) / Cbar(r,t,p)."""
+    weights = archive.masked_weights()
+    cbar = normalized_capacity(archive, period_hours)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        rwe = weights / cbar
+    rwe[~np.isfinite(rwe)] = np.nan
+    return rwe
+
+
+def relay_weight_error_means(
+    archive: MetricsArchive, period_hours: int, warmup_hours: int | None = None
+) -> np.ndarray:
+    """Figure 3's statistic: mean RWE per relay (plot log10 of it)."""
+    rwe = relay_weight_error(archive, period_hours)
+    start = period_hours if warmup_hours is None else warmup_hours
+    start = min(start, max(0, rwe.shape[1] - 1))
+    with np.errstate(invalid="ignore"):
+        return np.nanmean(rwe[:, start:], axis=1)
+
+
+def network_weight_error(
+    archive: MetricsArchive,
+    period_hours: int | None = None,
+    true_capacity: np.ndarray | None = None,
+) -> np.ndarray:
+    """Eq 6 per hour: total variation distance between W and Cbar.
+
+    With ``true_capacity`` given (synthetic archives / Figure 5), the
+    normalized *true* capacities are used instead of the max-proxy.
+    """
+    weights = archive.masked_weights()
+    if true_capacity is not None:
+        caps = np.broadcast_to(
+            true_capacity[:, None], weights.shape
+        ).astype(float).copy()
+        caps[~archive.presence] = np.nan
+        totals = np.where(archive.presence, caps, 0.0).sum(axis=0)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            cbar = caps / totals
+    else:
+        if period_hours is None:
+            raise ConfigurationError(
+                "need period_hours or explicit true capacities"
+            )
+        cbar = normalized_capacity(archive, period_hours)
+    both = ~np.isnan(weights) & ~np.isnan(cbar)
+    # Renormalise both distributions over the common support so the TVD
+    # is well-defined hour by hour.
+    w = np.where(both, weights, 0.0)
+    c = np.where(both, cbar, 0.0)
+    w_tot = w.sum(axis=0)
+    c_tot = c.sum(axis=0)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        w = w / w_tot
+        c = c / c_tot
+    nwe = 0.5 * np.abs(w - c).sum(axis=0)
+    nwe[(w_tot <= 0) | (c_tot <= 0)] = np.nan
+    return nwe
+
+
+def relative_std(values: np.ndarray) -> float:
+    """Eq 7: stdev(V)/mean(V) for one sequence (NaNs ignored)."""
+    finite = values[np.isfinite(values)]
+    if finite.size < 2:
+        return np.nan
+    mean = finite.mean()
+    if mean == 0:
+        return np.nan
+    return float(finite.std(ddof=0) / mean)
+
+
+def relative_std_means(
+    series: np.ndarray, period_hours: int, sample_every: int = 24
+) -> np.ndarray:
+    """Appendix A statistic: per-relay mean of trailing-window RSDs.
+
+    ``series`` is [relay, hour] (advertised bandwidths for Fig 10a,
+    normalized weights for Fig 10b). For tractability the RSD is
+    evaluated at every ``sample_every`` hours and averaged; rolling
+    mean/std are computed exactly with uniform filters.
+    """
+    filled = np.where(np.isfinite(series), series, 0.0)
+    count = np.isfinite(series).astype(float)
+    window = min(period_hours, series.shape[1])
+    sum_vals = _trailing_sum(filled, window)
+    sum_counts = _trailing_sum(count, window)
+    sum_sq = _trailing_sum(filled ** 2, window)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        mu = sum_vals / sum_counts
+        ex2 = sum_sq / sum_counts
+        var = np.maximum(0.0, ex2 - mu ** 2)
+        rsd = np.sqrt(var) / mu
+    rsd[(sum_counts < 2) | ~np.isfinite(rsd)] = np.nan
+    start = min(window, max(0, rsd.shape[1] - 1))
+    sampled = rsd[:, start::sample_every]
+    with np.errstate(invalid="ignore"):
+        return np.nanmean(sampled, axis=1)
+
+
+def _trailing_sum(values: np.ndarray, window: int) -> np.ndarray:
+    """Exact trailing-window sum via cumulative sums."""
+    cumulative = np.cumsum(values, axis=-1)
+    out = cumulative.copy()
+    out[..., window:] = cumulative[..., window:] - cumulative[..., :-window]
+    return out

@@ -1,0 +1,78 @@
+"""Archive data structures for the §3 analysis.
+
+A :class:`MetricsArchive` holds, at hourly granularity, each relay's
+advertised bandwidth (the step function induced by 18-hour descriptor
+publication) and normalized consensus weight, plus an online/offline
+presence mask. The synthetic generator also records ground-truth
+capacities, which real archives lack but which let the test suite verify
+the analysis pipeline end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class MetricsArchive:
+    """Hourly time series for a set of relays.
+
+    Arrays are indexed ``[relay, hour]``; entries where ``presence`` is
+    False are ignored by the analysis (NaN-equivalent).
+    """
+
+    relays: list[str]
+    #: Advertised bandwidth A(r, t), bytes/second.
+    advertised: np.ndarray
+    #: Normalized consensus weight W(r, t) (each column sums to ~1).
+    weights: np.ndarray
+    #: Online mask.
+    presence: np.ndarray
+    #: Ground-truth capacities (bytes/second); synthetic archives only.
+    true_capacity: np.ndarray | None = None
+    start_hour: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        n = len(self.relays)
+        for name, array in (
+            ("advertised", self.advertised),
+            ("weights", self.weights),
+            ("presence", self.presence),
+        ):
+            if array.shape[0] != n:
+                raise ConfigurationError(
+                    f"{name} first dimension must match relay count"
+                )
+        if self.advertised.shape != self.weights.shape:
+            raise ConfigurationError("advertised/weights shape mismatch")
+        if self.presence.shape != self.advertised.shape:
+            raise ConfigurationError("presence shape mismatch")
+
+    @property
+    def n_relays(self) -> int:
+        return len(self.relays)
+
+    @property
+    def n_hours(self) -> int:
+        return self.advertised.shape[1]
+
+    def masked_advertised(self) -> np.ndarray:
+        """Advertised bandwidths with offline hours as NaN."""
+        out = self.advertised.astype(float).copy()
+        out[~self.presence] = np.nan
+        return out
+
+    def masked_weights(self) -> np.ndarray:
+        out = self.weights.astype(float).copy()
+        out[~self.presence] = np.nan
+        return out
+
+    def network_advertised_total(self) -> np.ndarray:
+        """Sum of advertised bandwidth over online relays, per hour."""
+        masked = np.where(self.presence, self.advertised, 0.0)
+        return masked.sum(axis=0)

@@ -1,0 +1,273 @@
+"""Synthetic Tor metrics archive generator.
+
+The real analysis (paper §3) runs over 11 years of archived descriptors
+and consensuses, which are not available offline. This generator rebuilds
+the *mechanism* that produces the paper's error structure, so the same
+analysis code reproduces its qualitative results:
+
+- relays have fixed true capacities (long-tailed) and are persistently
+  under-utilised: hourly demand routed to a relay follows its consensus
+  weight, and total demand is below total capacity;
+- a relay's *observed bandwidth* is the max 10-second throughput over the
+  last 5 days (modelled as the max over recent hourly peaks, where a
+  peak is the hourly mean times a burst factor >= 1);
+- descriptors publish every 18 hours (staggered per relay), so the
+  advertised bandwidth is a lagged step function;
+- consensus weights follow TorFlow: advertised bandwidth times a noisy
+  measured-speed ratio -- closing the under-utilisation feedback loop;
+- a fraction of relays set rate limits below their demand and therefore
+  show *zero* capacity error (the paper finds ~15% of relays error-free);
+- relays churn (join/leave), and total demand grows over the archive
+  (the paper's §3.3 observation that error shrank as capacity growth
+  outpaced load growth is driven by this knob).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.metrics.archive import MetricsArchive
+from repro.rng import fork_numpy
+from repro.units import mbit
+
+#: Observed-bandwidth memory, hours (5 days).
+OBSERVED_MEMORY_HOURS = 120
+#: Descriptor publication interval, hours.
+PUBLISH_INTERVAL_HOURS = 18
+
+
+@dataclass(frozen=True)
+class ArchiveGenParams:
+    """Generator knobs; defaults are calibrated against paper §3 numbers."""
+
+    n_relays: int = 250
+    n_days: int = 400
+    seed: int = 0
+    #: Network-wide demand as a fraction of total capacity at t=0.
+    initial_utilization: float = 0.26
+    #: Fractional demand growth over the archive.
+    demand_growth: float = 0.6
+    #: Hourly lognormal sigma of per-relay load fluctuation (light-tailed:
+    #: ordinary hours stay near the relay's typical load).
+    burstiness_sigma: float = 0.10
+    #: Half-normal sigma of the 10s-peak vs hourly-mean factor (>= 1).
+    peak_sigma: float = 0.05
+    #: Per-relay per-hour probability of a demand surge that pushes the
+    #: relay toward capacity (rare: drives the growth of the capacity
+    #: proxy over longer windows, i.e. the paper's error-vs-period shape).
+    surge_probability: float = 0.0015
+    #: Surge 10s-peaks land uniformly in this fraction-of-capacity range.
+    surge_low: float = 0.70
+    surge_high: float = 1.0
+    #: Popularity grows with capacity^popularity_exponent: big relays are
+    #: better utilised (guard/exit flags, stability), which is what makes
+    #: small relays systematically under-weighted (paper Fig 3: >85%).
+    popularity_exponent: float = 0.08
+    #: TorFlow's measured-speed ratio additionally favours big relays
+    #: (their probe downloads run faster); speed ~ capacity^this.
+    ratio_capacity_exponent: float = 0.40
+    #: Demand responds sublinearly to weight (congestion on over-weighted
+    #: relays pushes elastic client load away): share ~ weight^this.
+    demand_exponent: float = 1.0
+    #: Lognormal sigma of TorFlow's measured-speed ratio noise.
+    weight_noise_sigma: float = 0.45
+    #: Hours between re-draws of the weight ratio noise (TorFlow's
+    #: measurement cadence).
+    weight_noise_refresh_hours: int = 24
+    #: Consensus weights lag the advertised bandwidths they are built
+    #: from: TorFlow aggregates measurements over days before weights
+    #: reach a consensus. This lag is what makes the §3.4 flood raise the
+    #: *weight error* -- capacity estimates improve before weights do.
+    weight_lag_hours: int = 36
+    #: Fraction of relays whose rate limit binds (zero capacity error).
+    rate_limited_fraction: float = 0.15
+    #: Fraction of relays that join mid-archive.
+    late_join_fraction: float = 0.3
+    #: Fraction of relays that leave before the end.
+    early_leave_fraction: float = 0.2
+    #: Capacity distribution (clipped lognormal), bytes/sec domain below.
+    capacity_median_bits: float = mbit(30)
+    capacity_sigma: float = 1.5
+    capacity_max_bits: float = mbit(1000)
+    #: Optional §3.4 speed-test flood injection: starting hour (None = no
+    #: flood), duration, fraction of relays successfully flooded (the
+    #: paper measured 4,867 of ~7,000 and timed out on 2,132), and the
+    #: fraction of true capacity a flooded relay demonstrates.
+    flood_start_hour: int | None = None
+    flood_duration_hours: int = 51
+    flood_success_fraction: float = 0.70
+    flood_capacity_fraction: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.n_relays <= 1:
+            raise ConfigurationError("need at least two relays")
+        if self.n_days <= 1:
+            raise ConfigurationError("need at least two days")
+
+
+def generate_archive(params: ArchiveGenParams | None = None) -> MetricsArchive:
+    """Generate a synthetic archive (see module docstring for the model)."""
+    params = params or ArchiveGenParams()
+    rng = fork_numpy(params.seed, "metrics-archive")
+    n = params.n_relays
+    hours = params.n_days * 24
+
+    # --- Static relay population -----------------------------------------
+    capacity_bits = np.exp(
+        rng.normal(np.log(params.capacity_median_bits), params.capacity_sigma, n)
+    )
+    capacity_bits = np.clip(capacity_bits, mbit(0.2), params.capacity_max_bits)
+    capacity = capacity_bits / 8.0  # bytes/sec, the archive's native unit
+
+    rate_limited = rng.random(n) < params.rate_limited_fraction
+    # Binding limits sit well below what load will reach.
+    rate_limit = np.where(
+        rate_limited, capacity * rng.uniform(0.15, 0.5, n), np.inf
+    )
+
+    join_hour = np.zeros(n, dtype=int)
+    late = rng.random(n) < params.late_join_fraction
+    join_hour[late] = rng.integers(0, hours // 2, late.sum())
+    leave_hour = np.full(n, hours, dtype=int)
+    early = rng.random(n) < params.early_leave_fraction
+    leave_hour[early] = rng.integers(hours // 2, hours, early.sum())
+    leave_hour = np.maximum(leave_hour, join_hour + 24)
+
+    #: Static popularity skew (guard status, exit policy, geography),
+    #: correlated with capacity.
+    popularity = np.exp(rng.normal(0.0, 0.35, n)) * (
+        capacity / np.median(capacity)
+    ) ** params.popularity_exponent
+    publish_offset = rng.integers(0, PUBLISH_INTERVAL_HOURS, n)
+
+    # Drawn unconditionally so enabling the flood does not shift the RNG
+    # stream for the rest of the generation (the quiet and flooded runs of
+    # one seed stay identical outside the flood's effects).
+    flood_draws = rng.random(n)
+    flooded_relays = (
+        flood_draws < params.flood_success_fraction
+        if params.flood_start_hour is not None
+        else np.zeros(n, dtype=bool)
+    )
+
+    # --- State -------------------------------------------------------------
+    advertised = np.zeros((n, hours))
+    weights = np.zeros((n, hours))
+    presence = np.zeros((n, hours), dtype=bool)
+    peak_buffer = np.zeros((n, OBSERVED_MEMORY_HOURS))
+    buffer_pos = 0
+    current_advertised = capacity * params.initial_utilization * rng.uniform(
+        0.3, 1.0, n
+    )
+    current_advertised = np.minimum(current_advertised, rate_limit)
+    ratio_bias = (capacity / np.median(capacity)) ** params.ratio_capacity_exponent
+    ratio_noise = ratio_bias * np.exp(
+        rng.normal(0.0, params.weight_noise_sigma, n)
+    )
+    current_weights = np.maximum(current_advertised * ratio_noise, 1e-9)
+
+    total_capacity = capacity.sum()
+
+    advertised_history: deque = deque(maxlen=max(1, params.weight_lag_hours))
+
+    for t in range(hours):
+        online = (join_hour <= t) & (t < leave_hour)
+        presence[:, t] = online
+        if not online.any():
+            continue
+
+        # Demand routed to each relay: proportional to consensus weight.
+        growth = 1.0 + params.demand_growth * (t / hours)
+        total_demand = (
+            total_capacity * params.initial_utilization * growth
+        )
+        w = np.where(online, current_weights, 0.0) ** params.demand_exponent
+        w_total = w.sum()
+        share = w / w_total if w_total > 0 else np.zeros(n)
+
+        burst = np.exp(
+            rng.normal(0.0, params.burstiness_sigma, n)
+        ) * popularity
+        hourly_throughput = np.minimum(
+            capacity, total_demand * share * burst
+        )
+        hourly_throughput = np.minimum(hourly_throughput, rate_limit)
+        peak = np.minimum(
+            np.minimum(capacity, rate_limit),
+            hourly_throughput
+            * (1.0 + np.abs(rng.normal(0.0, params.peak_sigma, n))),
+        )
+        # Rare demand surges briefly push a relay toward its capacity;
+        # these are what the longer-window capacity proxy catches.
+        surging = rng.random(n) < params.surge_probability
+        if surging.any():
+            surge_peak = np.minimum(capacity, rate_limit) * rng.uniform(
+                params.surge_low, params.surge_high, n
+            )
+            peak = np.where(surging, np.maximum(peak, surge_peak), peak)
+        peak = np.where(online, peak, 0.0)
+
+        # §3.4 speed-test flood: flooded relays demonstrate near-capacity
+        # 10-second throughput, which enters their observed-bw history.
+        if params.flood_start_hour is not None and (
+            params.flood_start_hour
+            <= t
+            < params.flood_start_hour + params.flood_duration_hours
+        ):
+            flood_peak = (
+                np.minimum(capacity, rate_limit)
+                * params.flood_capacity_fraction
+                * rng.uniform(0.95, 1.02, n)
+            )
+            peak = np.where(
+                online & flooded_relays, np.maximum(peak, flood_peak), peak
+            )
+
+        # Observed bandwidth: max over the 5-day peak buffer.
+        peak_buffer[:, buffer_pos] = peak
+        buffer_pos = (buffer_pos + 1) % OBSERVED_MEMORY_HOURS
+        observed = peak_buffer.max(axis=1)
+
+        # Descriptor publication (staggered 18 h cadence).
+        publishing = online & ((t + publish_offset) % PUBLISH_INTERVAL_HOURS == 0)
+        fresh = np.minimum(observed, rate_limit)
+        current_advertised = np.where(publishing, fresh, current_advertised)
+        # Relays joining right now publish their first descriptor.
+        joining = online & (join_hour == t)
+        current_advertised = np.where(
+            joining, np.minimum(observed, rate_limit), current_advertised
+        )
+        advertised[:, t] = np.where(online, current_advertised, 0.0)
+
+        # TorFlow weights: *lagged* advertised x measured-speed ratio
+        # (refreshed on the scanner cadence). The lag models TorFlow's
+        # multi-day measurement pipeline.
+        if t % params.weight_noise_refresh_hours == 0:
+            ratio_noise = ratio_bias * np.exp(
+                rng.normal(0.0, params.weight_noise_sigma, n)
+            )
+        advertised_history.append(current_advertised.copy())
+        lagged_advertised = advertised_history[0]
+        raw = np.where(online, lagged_advertised * ratio_noise, 0.0)
+        raw_total = raw.sum()
+        if raw_total > 0:
+            weights[:, t] = raw / raw_total
+            current_weights = np.maximum(raw, 1e-9)
+
+    return MetricsArchive(
+        relays=[f"relay{i:05d}" for i in range(n)],
+        advertised=advertised,
+        weights=weights,
+        presence=presence,
+        true_capacity=capacity,
+        extra={
+            "rate_limit": rate_limit,
+            "join_hour": join_hour,
+            "leave_hour": leave_hour,
+            "params": params,
+        },
+    )

@@ -1,0 +1,47 @@
+"""Network simulation substrate.
+
+This package stands in for the authors' Internet vantage points and lab
+machines (paper Table 1, Appendices B-E). It provides a discrete-time
+(1-second tick) fluid-flow network model:
+
+- :mod:`repro.netsim.engine` -- simulation clock and event scheduling,
+- :mod:`repro.netsim.hosts` -- hosts with access-link capacity and CPU cores,
+- :mod:`repro.netsim.latency` -- RTT/loss path model, including the paper's
+  five Internet vantage points,
+- :mod:`repro.netsim.socketbuf` -- kernel socket-buffer configurations
+  (default vs tuned, Appendix D),
+- :mod:`repro.netsim.tcp` -- per-connection fluid TCP throughput model,
+- :mod:`repro.netsim.udp` -- UDP flows,
+- :mod:`repro.netsim.fairshare` -- max-min fair bandwidth allocation,
+- :mod:`repro.netsim.iperf` -- an iPerf-like capacity estimation tool.
+
+Rates are bits/second, sizes are bytes, time advances in 1-second steps
+(the granularity at which FlashFlow reports measurements).
+"""
+
+from repro.netsim.engine import SimClock
+from repro.netsim.fairshare import Flow, Resource, max_min_fair
+from repro.netsim.hosts import Host, make_paper_hosts
+from repro.netsim.iperf import IperfResult, iperf_many_to_one, iperf_pair
+from repro.netsim.latency import NetworkModel, Path
+from repro.netsim.socketbuf import KernelConfig
+from repro.netsim.tcp import TcpConnection, tcp_rate_cap
+from repro.netsim.udp import udp_rate_cap
+
+__all__ = [
+    "Flow",
+    "Host",
+    "IperfResult",
+    "KernelConfig",
+    "NetworkModel",
+    "Path",
+    "Resource",
+    "SimClock",
+    "TcpConnection",
+    "iperf_many_to_one",
+    "iperf_pair",
+    "make_paper_hosts",
+    "max_min_fair",
+    "tcp_rate_cap",
+    "udp_rate_cap",
+]

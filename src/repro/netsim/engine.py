@@ -1,0 +1,79 @@
+"""Simulation clock and lightweight event scheduling.
+
+FlashFlow operates at per-second granularity (per-second throughput reports,
+30-second slots, 24-hour periods), so the engine is a discrete-time clock
+with an ordered event queue rather than a full continuous-time DES. Events
+are callbacks scheduled at integer-second timestamps; ties break in
+insertion order, which keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Iterator
+
+
+class SimClock:
+    """Discrete one-second simulation clock with an event queue.
+
+    The clock starts at ``start`` (seconds). ``schedule`` registers a
+    callback at an absolute time; ``schedule_in`` at a relative offset.
+    ``run_until`` executes all events with timestamps <= the target time in
+    order, advancing the clock as it goes.
+    """
+
+    def __init__(self, start: int = 0):
+        self._now = int(start)
+        self._queue: list[tuple[int, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def schedule(self, when: int, callback: Callable[[], None]) -> None:
+        """Run ``callback`` when the clock reaches absolute time ``when``."""
+        when = int(when)
+        if when < self._now:
+            raise ValueError(f"cannot schedule in the past ({when} < {self._now})")
+        heapq.heappush(self._queue, (when, next(self._counter), callback))
+
+    def schedule_in(self, delay: int, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` seconds."""
+        self.schedule(self._now + int(delay), callback)
+
+    def run_until(self, when: int) -> None:
+        """Execute all events up to and including time ``when``."""
+        when = int(when)
+        while self._queue and self._queue[0][0] <= when:
+            event_time, _, callback = heapq.heappop(self._queue)
+            self._now = event_time
+            callback()
+        self._now = max(self._now, when)
+
+    def run_all(self) -> None:
+        """Execute every remaining event (including ones newly scheduled)."""
+        while self._queue:
+            event_time, _, callback = heapq.heappop(self._queue)
+            self._now = event_time
+            callback()
+
+    def advance(self, seconds: int) -> None:
+        """Advance the clock ``seconds`` into the future, running events."""
+        self.run_until(self._now + int(seconds))
+
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)
+
+    def ticks(self, duration: int) -> Iterator[int]:
+        """Iterate second-by-second for ``duration`` seconds.
+
+        Yields the current time at each tick and advances the clock by one
+        second after the loop body runs, executing any queued events.
+        """
+        for _ in range(int(duration)):
+            yield self._now
+            self.advance(1)

@@ -1,0 +1,158 @@
+"""Max-min fair bandwidth allocation (progressive filling).
+
+Every throughput computation in the reproduction funnels through this
+allocator: competing flows over shared resources (access links, relay
+forwarding capacity, CPU budgets) receive max-min fair rates subject to
+per-flow caps (TCP limits, application rate limits, circuit windows).
+
+A flow lists the resources it consumes, with multiplicity: a flow that
+traverses the same resource twice (e.g. echo traffic crossing a duplex NIC
+in both directions counts once per direction-resource, but a forwarding
+budget is consumed once per forwarded byte) consumes ``multiplicity x rate``
+of that resource.
+
+The allocation satisfies the two defining max-min properties, which the
+test suite checks property-style:
+
+- *feasibility*: no resource is over-subscribed and no flow exceeds its cap;
+- *unimprovability*: every flow is either at its cap or crosses at least
+  one saturated resource.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Hashable
+
+#: Numerical slack for saturation tests.
+_EPS = 1e-9
+
+
+@dataclass
+class Resource:
+    """A shared capacity: an access link direction, CPU budget, rate limit."""
+
+    rid: Hashable
+    capacity: float
+
+    def __post_init__(self) -> None:
+        if self.capacity < 0:
+            raise ValueError(f"resource {self.rid!r} has negative capacity")
+
+    def __hash__(self) -> int:
+        return hash(self.rid)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Resource) and other.rid == self.rid
+
+
+@dataclass
+class Flow:
+    """A unidirectional traffic flow requesting bandwidth.
+
+    ``resources`` may repeat a resource to consume it with multiplicity.
+    ``cap`` is the flow's own maximum rate (TCP/app limit); use
+    ``math.inf`` for an uncapped flow.
+    """
+
+    fid: Hashable
+    resources: list[Resource]
+    cap: float = math.inf
+    _multiplicity: Counter = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.cap < 0:
+            raise ValueError(f"flow {self.fid!r} has negative cap")
+        self._multiplicity = Counter(r.rid for r in self.resources)
+
+    def multiplicity(self, rid: Hashable) -> int:
+        return self._multiplicity.get(rid, 0)
+
+
+def max_min_fair(flows: list[Flow]) -> dict[Hashable, float]:
+    """Allocate max-min fair rates to ``flows``; returns ``{fid: rate}``.
+
+    Runs in O((F + R) * F) in the worst case; each round freezes at least
+    one flow or saturates at least one resource.
+    """
+    rates: dict[Hashable, float] = {f.fid: 0.0 for f in flows}
+    if not flows:
+        return rates
+
+    resources: dict[Hashable, Resource] = {}
+    for f in flows:
+        for r in f.resources:
+            existing = resources.get(r.rid)
+            if existing is not None and existing.capacity != r.capacity:
+                raise ValueError(
+                    f"resource {r.rid!r} appears with two capacities "
+                    f"({existing.capacity} vs {r.capacity})"
+                )
+            resources[r.rid] = r
+
+    remaining = {rid: r.capacity for rid, r in resources.items()}
+    active = {f.fid: f for f in flows if f.cap > 0 and _feasible(f, remaining)}
+    # Flows with zero cap or crossing a zero-capacity resource stay at 0.
+
+    while active:
+        load: Counter = Counter()
+        for f in active.values():
+            for rid, mult in f._multiplicity.items():
+                load[rid] += mult
+
+        # Largest uniform increment every active flow can take.
+        increment = math.inf
+        for rid, total_mult in load.items():
+            if not math.isinf(remaining[rid]):
+                increment = min(increment, remaining[rid] / total_mult)
+        for f in active.values():
+            increment = min(increment, f.cap - rates[f.fid])
+
+        if math.isinf(increment):
+            # Only uncapped flows over infinite resources remain; they are
+            # genuinely unbounded -- report infinity.
+            for fid in active:
+                rates[fid] = math.inf
+            break
+
+        if increment > 0:
+            for f in active.values():
+                rates[f.fid] += increment
+                for rid, mult in f._multiplicity.items():
+                    if not math.isinf(remaining[rid]):
+                        remaining[rid] -= increment * mult
+
+        # Freeze flows at their cap or crossing a saturated resource.
+        saturated = {rid for rid, rem in remaining.items() if rem <= _EPS}
+        frozen = [
+            fid
+            for fid, f in active.items()
+            if rates[fid] >= f.cap - _EPS
+            or any(rid in saturated for rid in f._multiplicity)
+        ]
+        if not frozen:
+            # Numerical corner: force the minimum-slack flow out to ensure
+            # progress.
+            frozen = [min(active, key=lambda fid: active[fid].cap - rates[fid])]
+        for fid in frozen:
+            del active[fid]
+
+    return rates
+
+
+def _feasible(flow: Flow, remaining: dict[Hashable, float]) -> bool:
+    """A flow can receive rate only if every resource it crosses has some."""
+    return all(remaining[rid] > _EPS for rid in flow._multiplicity)
+
+
+def total_on_resource(
+    flows: list[Flow], rates: dict[Hashable, float], rid: Hashable
+) -> float:
+    """Total allocated load on resource ``rid`` (for tests/diagnostics)."""
+    return sum(
+        rates[f.fid] * f.multiplicity(rid)
+        for f in flows
+        if f.multiplicity(rid) and not math.isinf(rates[f.fid])
+    )

@@ -1,0 +1,85 @@
+"""Hosts: access links, CPU cores, and the paper's Table 1 inventory.
+
+A :class:`Host` models a machine with a full-duplex access link (separate
+send and receive capacity), a number of CPU cores, and a kernel socket
+buffer configuration. Virtualised hosts carry a small capacity penalty and
+extra per-second variance, matching the paper's observation that its virtual
+hosts (US-NW, IN, NL) measured less consistently than the one physical host
+(US-E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netsim.socketbuf import KernelConfig
+from repro.units import gbit
+
+
+@dataclass
+class Host:
+    """A machine participating in measurements.
+
+    ``link_capacity`` is the access-link rate in bit/s for each direction
+    (full duplex). ``virtual`` hosts suffer hypervisor scheduling jitter,
+    modelled downstream as wider per-second noise.
+    """
+
+    name: str
+    link_capacity: float
+    cpu_cores: int = 8
+    ram_gib: int = 32
+    virtual: bool = False
+    network_type: str = "datacenter"
+    kernel: KernelConfig = field(default_factory=KernelConfig.default)
+
+    #: Fractional per-second throughput jitter (std dev of a multiplicative
+    #: noise factor); virtual hosts get a wider value at construction.
+    jitter: float = 0.015
+
+    def __post_init__(self) -> None:
+        if self.link_capacity <= 0:
+            raise ValueError(f"host {self.name} needs positive link capacity")
+        if self.virtual and self.jitter < 0.03:
+            self.jitter = 0.03
+
+    def with_kernel(self, kernel: KernelConfig) -> "Host":
+        """Return a copy of this host with a different kernel configuration."""
+        return Host(
+            name=self.name,
+            link_capacity=self.link_capacity,
+            cpu_cores=self.cpu_cores,
+            ram_gib=self.ram_gib,
+            virtual=self.virtual,
+            network_type=self.network_type,
+            kernel=kernel,
+            jitter=self.jitter,
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Host) and other.name == self.name
+
+
+def make_paper_hosts() -> dict[str, Host]:
+    """Build the five Internet vantage points of paper Table 1.
+
+    Link capacities follow the paper's *measured* bandwidths (the claimed
+    1 Gbit/s values were optimistic for some hosts, and IN/NL measured above
+    1 Gbit/s when saturated by all peers).
+    """
+    hosts = [
+        Host("US-SW", link_capacity=gbit(0.954), cpu_cores=8, ram_gib=32,
+             virtual=False, network_type="datacenter"),
+        Host("US-NW", link_capacity=gbit(0.946), cpu_cores=8, ram_gib=4,
+             virtual=True, network_type="datacenter"),
+        Host("US-E", link_capacity=gbit(0.941), cpu_cores=12, ram_gib=32,
+             virtual=False, network_type="residential"),
+        Host("IN", link_capacity=gbit(1.076), cpu_cores=2, ram_gib=4,
+             virtual=True, network_type="datacenter"),
+        Host("NL", link_capacity=gbit(1.611), cpu_cores=2, ram_gib=4,
+             virtual=True, network_type="datacenter"),
+    ]
+    return {h.name: h for h in hosts}

@@ -1,0 +1,164 @@
+"""iPerf-like capacity estimation (paper §4.2, §6.1, Appendix B).
+
+Two modes reproduce the paper's methodology:
+
+- :func:`iperf_pair` -- a bidirectional two-host measurement. Each second,
+  the minimum of sent and received volume is recorded; the result is the
+  median over the run (Table 3, first two columns).
+- :func:`iperf_many_to_one` -- every other host saturates one target with
+  UDP simultaneously; per-second receive volumes are summed and the median
+  of the sums is the capacity estimate (Table 1 "BW (measured)" row and
+  Table 3 last column). This is also how a FlashFlow BWAuth measures its
+  measurers.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass, field
+
+from repro.netsim.fairshare import Flow, Resource, max_min_fair
+from repro.netsim.latency import NetworkModel
+from repro.netsim.tcp import tcp_rate_cap
+from repro.netsim.udp import UDP_GOODPUT_FACTOR
+from repro.rng import fork
+
+
+@dataclass
+class IperfResult:
+    """Outcome of an iPerf run."""
+
+    median_bits_per_sec: float
+    per_second: list[float] = field(default_factory=list)
+    mode: str = "udp"
+
+    @property
+    def mbit(self) -> float:
+        return self.median_bits_per_sec / 1e6
+
+
+def _link_resources(model: NetworkModel) -> dict[tuple[str, str], Resource]:
+    """Create up/down access-link resources for every host."""
+    resources = {}
+    for name, host in model.hosts.items():
+        resources[(name, "up")] = Resource((name, "up"), host.link_capacity)
+        resources[(name, "down")] = Resource((name, "down"), host.link_capacity)
+    return resources
+
+
+def _jitter(model: NetworkModel, names: list[str], rng) -> float:
+    """Multiplicative per-second noise over the hosts on a path."""
+    sigma = math.sqrt(sum(model.hosts[n].jitter ** 2 for n in names))
+    return max(0.5, rng.gauss(1.0, sigma))
+
+
+def iperf_pair(
+    model: NetworkModel,
+    a: str,
+    b: str,
+    mode: str = "udp",
+    duration: int = 60,
+    seed: int = 0,
+    parallel_streams: int = 1,
+) -> IperfResult:
+    """Bidirectional iPerf between hosts ``a`` and ``b``.
+
+    Returns the median over per-second ``min(sent, received)`` volumes,
+    matching the paper's Appendix B methodology.
+    """
+    if mode not in ("udp", "tcp"):
+        raise ValueError(f"unknown iperf mode {mode!r}")
+    rng = fork(seed, f"iperf-{a}-{b}-{mode}")
+    path = model.path(a, b)
+    links = _link_resources(model)
+    per_second: list[float] = []
+
+    for second in range(duration):
+        flows = []
+        for direction, (src, dst) in enumerate(((a, b), (b, a))):
+            if mode == "tcp":
+                quality = model.sample_path_quality(rng)
+                cap = tcp_rate_cap(
+                    path,
+                    model.hosts[src].kernel,
+                    model.hosts[dst].kernel,
+                    age_seconds=float(second),
+                ) * quality * parallel_streams
+            else:
+                cap = math.inf
+            flows.append(
+                Flow(
+                    fid=(src, dst),
+                    resources=[links[(src, "up")], links[(dst, "down")]],
+                    cap=cap,
+                )
+            )
+        rates = max_min_fair(flows)
+        forward = rates[(a, b)] * _jitter(model, [a, b], rng)
+        reverse = rates[(b, a)] * _jitter(model, [a, b], rng)
+        if mode == "udp":
+            forward *= UDP_GOODPUT_FACTOR * (1.0 - path.loss)
+            reverse *= UDP_GOODPUT_FACTOR * (1.0 - path.loss)
+        else:
+            # TCP goodput loses a little more to headers and retransmits.
+            forward *= 0.96
+            reverse *= 0.96
+        per_second.append(min(forward, reverse))
+
+    return IperfResult(
+        median_bits_per_sec=statistics.median(per_second),
+        per_second=per_second,
+        mode=mode,
+    )
+
+
+def iperf_many_to_one(
+    model: NetworkModel,
+    target: str,
+    sources: list[str] | None = None,
+    duration: int = 60,
+    seed: int = 0,
+) -> IperfResult:
+    """Saturate ``target`` with simultaneous UDP from every source.
+
+    Per-second receive volumes from each source are summed; the median of
+    the sums estimates the target's receive capacity. Used both for the
+    Table 1/3 host characterisation and for FlashFlow's measurement of its
+    own measurers (§4.2).
+    """
+    if sources is None:
+        sources = [name for name in model.hosts if name != target]
+    if target in sources:
+        raise ValueError("target cannot also be a source")
+    rng = fork(seed, f"iperf-many-{target}")
+    links = _link_resources(model)
+    per_second: list[float] = []
+
+    for _ in range(duration):
+        flows = [
+            Flow(
+                fid=src,
+                resources=[links[(src, "up")], links[(target, "down")]],
+                cap=math.inf,
+            )
+            for src in sources
+        ]
+        rates = max_min_fair(flows)
+        total = 0.0
+        for src in sources:
+            loss = model.path(src, target).loss
+            total += (
+                rates[src]
+                * UDP_GOODPUT_FACTOR
+                * (1.0 - loss)
+                * _jitter(model, [src], rng)
+            )
+        total *= _jitter(model, [target], rng)
+        per_second.append(total)
+
+    return IperfResult(
+        median_bits_per_sec=statistics.median(per_second),
+        per_second=per_second,
+        mode="udp",
+    )

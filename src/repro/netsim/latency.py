@@ -1,0 +1,160 @@
+"""Path model: RTT and loss between hosts (paper Table 1 + Appendix B).
+
+A :class:`Path` carries the round-trip time and a steady-state packet-loss
+probability for a host pair. Loss on Internet paths grows with RTT (longer
+paths traverse more congested hops), which is what makes the high-RTT IN
+host the slowest per-socket measurer in the paper's Figure 14. Lab paths
+are effectively lossless.
+
+The :class:`NetworkModel` holds the full matrix for a set of hosts plus a
+per-measurement "path quality" sampler used to model slowly-varying path
+conditions (routing changes, cross traffic) that persist for the duration
+of one 30-60 second measurement.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.netsim.hosts import Host
+from repro.rng import fork
+
+#: RTTs between paper hosts, in milliseconds (Table 1 gives RTT to US-SW;
+#: the remaining pairs are estimated from geography).
+PAPER_RTTS_MS: dict[tuple[str, str], float] = {
+    ("US-SW", "US-NW"): 40.0,
+    ("US-SW", "US-E"): 62.0,
+    ("US-SW", "IN"): 210.0,
+    ("US-SW", "NL"): 137.0,
+    ("US-NW", "US-E"): 70.0,
+    ("US-NW", "IN"): 230.0,
+    ("US-NW", "NL"): 150.0,
+    ("US-E", "IN"): 200.0,
+    ("US-E", "NL"): 90.0,
+    ("IN", "NL"): 130.0,
+}
+
+#: Base loss probability for Internet paths, plus an RTT-proportional term.
+#: Calibrated so the per-socket TCP throughput toward US-SW makes IN the
+#: slowest host to peak, doing so near 160 sockets (paper Fig 14).
+INTERNET_BASE_LOSS = 1.0e-5
+INTERNET_LOSS_PER_RTT_SECOND = 4.4e-4
+#: Lab (direct fiber) paths are effectively lossless.
+LAB_LOSS = 1.0e-8
+
+
+@dataclass(frozen=True)
+class Path:
+    """One direction-symmetric network path between two hosts."""
+
+    src: str
+    dst: str
+    rtt_seconds: float
+    loss: float
+
+    def __post_init__(self) -> None:
+        if self.rtt_seconds < 0:
+            raise ConfigurationError("negative RTT")
+        if not 0 <= self.loss < 1:
+            raise ConfigurationError("loss must be a probability")
+
+
+def internet_loss_for_rtt(rtt_seconds: float) -> float:
+    """Default loss model for Internet paths: grows linearly with RTT."""
+    return INTERNET_BASE_LOSS + INTERNET_LOSS_PER_RTT_SECOND * rtt_seconds
+
+
+class NetworkModel:
+    """RTT/loss matrix over a set of named hosts.
+
+    ``quality_mean``/``quality_std`` parameterise the per-measurement path
+    quality factor: a truncated normal multiplier on the achievable rate,
+    sampled once per (path, measurement) and held for the measurement's
+    duration. The factor captures path conditions the measurer cannot
+    control; it is why over-allocating measurer capacity (the paper's
+    multiplier ``m``) is necessary for reliable saturation.
+    """
+
+    def __init__(
+        self,
+        hosts: dict[str, Host],
+        rtts_ms: dict[tuple[str, str], float] | None = None,
+        loss_override: dict[tuple[str, str], float] | None = None,
+        seed: int = 0,
+        quality_mean: float = 0.92,
+        quality_std: float = 0.10,
+        quality_min: float = 0.45,
+    ):
+        self.hosts = dict(hosts)
+        self._rtts: dict[frozenset[str], float] = {}
+        self._loss: dict[frozenset[str], float] = {}
+        self._rng = fork(seed, "network-model")
+        self.quality_mean = quality_mean
+        self.quality_std = quality_std
+        self.quality_min = quality_min
+
+        rtts_ms = dict(PAPER_RTTS_MS if rtts_ms is None else rtts_ms)
+        for (a, b), ms in rtts_ms.items():
+            key = frozenset((a, b))
+            self._rtts[key] = ms / 1000.0
+            self._loss[key] = internet_loss_for_rtt(ms / 1000.0)
+        if loss_override:
+            for (a, b), loss in loss_override.items():
+                self._loss[frozenset((a, b))] = loss
+
+    @classmethod
+    def paper_internet(cls, seed: int = 0) -> "NetworkModel":
+        """The five-host Internet topology of paper Table 1."""
+        from repro.netsim.hosts import make_paper_hosts
+
+        return cls(make_paper_hosts(), seed=seed)
+
+    @classmethod
+    def lab_pair(
+        cls,
+        capacity_bits: float = 10e9,
+        rtt_ms: float = 0.13,
+        seed: int = 0,
+    ) -> "NetworkModel":
+        """The two-machine lab of paper Appendix C (10 Gbit/s fiber)."""
+        target = Host("lab-target", link_capacity=capacity_bits,
+                      cpu_cores=56, ram_gib=256, jitter=0.004)
+        client = Host("lab-client", link_capacity=capacity_bits,
+                      cpu_cores=56, ram_gib=256, jitter=0.004)
+        model = cls(
+            {h.name: h for h in (target, client)},
+            rtts_ms={("lab-target", "lab-client"): rtt_ms},
+            loss_override={("lab-target", "lab-client"): LAB_LOSS},
+            seed=seed,
+            quality_mean=0.99,
+            quality_std=0.01,
+            quality_min=0.95,
+        )
+        return model
+
+    def host(self, name: str) -> Host:
+        return self.hosts[name]
+
+    def set_rtt(self, a: str, b: str, rtt_seconds: float,
+                loss: float | None = None) -> None:
+        """Override one pair's RTT (and optionally loss) -- netem style."""
+        key = frozenset((a, b))
+        self._rtts[key] = rtt_seconds
+        self._loss[key] = internet_loss_for_rtt(rtt_seconds) if loss is None else loss
+
+    def path(self, a: str, b: str) -> Path:
+        """Return the path between hosts ``a`` and ``b``."""
+        if a == b:
+            return Path(a, b, rtt_seconds=0.0002, loss=0.0)
+        key = frozenset((a, b))
+        if key not in self._rtts:
+            raise ConfigurationError(f"no path configured between {a} and {b}")
+        return Path(a, b, rtt_seconds=self._rtts[key], loss=self._loss[key])
+
+    def sample_path_quality(self, rng: random.Random | None = None) -> float:
+        """Sample a per-measurement path quality factor in (0, 1]."""
+        rng = rng or self._rng
+        q = rng.gauss(self.quality_mean, self.quality_std)
+        return max(self.quality_min, min(1.0, q))

@@ -1,0 +1,123 @@
+"""Fluid TCP throughput model.
+
+A single TCP connection's per-second achievable rate is the minimum of:
+
+- the BDP/window cap (``min(send buffer, receive buffer) / RTT``) -- the
+  dominant limit for default kernels on high-RTT paths (paper Appendix D),
+- the Mathis loss cap (``C * MSS / (RTT * sqrt(loss))``) -- the dominant
+  limit for tuned kernels on lossy Internet paths (paper Appendix E.1),
+- a slow-start ramp during the first seconds of the connection's life,
+- the application's own rate limit, if any.
+
+Actual link sharing between competing connections is handled by
+:mod:`repro.netsim.fairshare`; this module produces per-connection *caps*
+that feed into that allocation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.netsim.latency import Path
+from repro.netsim.socketbuf import KernelConfig
+
+#: TCP maximum segment size in bytes (Ethernet MTU minus headers).
+MSS = 1460
+#: Mathis constant for TCP Reno-style AIMD with delayed ACKs.
+MATHIS_C = 1.22
+#: Initial congestion window, segments (RFC 6928).
+INITIAL_CWND_SEGMENTS = 10
+#: Loss-recovery advantage of large socket buffers: with default-sized
+#: buffers, fast recovery regularly stalls on window exhaustion (RTOs);
+#: tuned kernels ride losses out with SACK headroom. This is the residual
+#: benefit of kernel tuning on lossy paths (paper Fig 13).
+LOSS_RECOVERY_BOOST = 1.5
+#: Write-buffer size above which a kernel gets the recovery boost.
+_LARGE_BUFFER_BYTES = 16 * 1024 * 1024
+
+
+def mathis_rate_cap(path: Path, recovery_boost: float = 1.0) -> float:
+    """Loss-bounded steady-state TCP throughput on ``path`` (bit/s)."""
+    if path.loss <= 0:
+        return float("inf")
+    if path.rtt_seconds <= 0:
+        return float("inf")
+    return (
+        MATHIS_C * MSS * 8.0 * recovery_boost
+        / (path.rtt_seconds * math.sqrt(path.loss))
+    )
+
+
+def slow_start_rate_cap(path: Path, age_seconds: float) -> float:
+    """Throughput cap (bit/s) imposed by slow start at connection age.
+
+    The congestion window doubles every RTT from ``INITIAL_CWND_SEGMENTS``
+    segments. With sub-second RTTs the cap disappears within the first
+    second or two, matching the paper's observation that multi-socket
+    measurements reach full speed essentially immediately (Fig 7).
+    """
+    if path.rtt_seconds <= 0:
+        return float("inf")
+    doublings = max(0.0, age_seconds) / path.rtt_seconds
+    # Cap the exponent to avoid overflow; 60 doublings is already infinite
+    # for any practical purpose.
+    doublings = min(doublings, 60.0)
+    window_bytes = INITIAL_CWND_SEGMENTS * MSS * (2.0 ** doublings)
+    return window_bytes * 8.0 / path.rtt_seconds
+
+
+def tcp_rate_cap(
+    path: Path,
+    sender_kernel: KernelConfig,
+    receiver_kernel: KernelConfig,
+    age_seconds: float = 60.0,
+    app_limit: float = float("inf"),
+) -> float:
+    """Per-connection achievable rate (bit/s), before link sharing."""
+    window_cap = sender_kernel.window_rate_cap(receiver_kernel, path.rtt_seconds)
+    boost = (
+        LOSS_RECOVERY_BOOST
+        if sender_kernel.write_buf_max >= _LARGE_BUFFER_BYTES
+        else 1.0
+    )
+    return min(
+        window_cap,
+        mathis_rate_cap(path, recovery_boost=boost),
+        slow_start_rate_cap(path, age_seconds),
+        app_limit,
+    )
+
+
+@dataclass
+class TcpConnection:
+    """A long-lived TCP connection whose rate cap evolves with age.
+
+    ``quality`` is the per-measurement path-quality multiplier sampled from
+    :meth:`repro.netsim.latency.NetworkModel.sample_path_quality`; it scales
+    the achievable rate for this connection's whole lifetime.
+    """
+
+    path: Path
+    sender_kernel: KernelConfig
+    receiver_kernel: KernelConfig
+    quality: float = 1.0
+    app_limit: float = float("inf")
+    age_seconds: float = field(default=0.0)
+
+    def rate_cap(self) -> float:
+        """Current per-second achievable rate in bit/s."""
+        cap = tcp_rate_cap(
+            self.path,
+            self.sender_kernel,
+            self.receiver_kernel,
+            age_seconds=self.age_seconds,
+            app_limit=self.app_limit,
+        )
+        if math.isinf(cap):
+            return cap
+        return cap * self.quality
+
+    def tick(self, seconds: float = 1.0) -> None:
+        """Advance the connection's age."""
+        self.age_seconds += seconds

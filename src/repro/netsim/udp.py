@@ -1,0 +1,26 @@
+"""UDP flow model.
+
+UDP has no congestion or flow control: a sender can push at line rate and
+throughput is limited only by the link and by loss. The paper uses UDP
+iPerf for measuring measurers (§4.2) precisely because it avoids the TCP
+dynamics that cap single connections -- and its §6.1 results show UDP iPerf
+exceeding TCP iPerf on every pair for this reason.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.latency import Path
+
+#: UDP/IP header overhead fraction relative to TCP (fewer headers, so a
+#: slightly larger fraction of the link carries payload).
+UDP_GOODPUT_FACTOR = 0.985
+
+
+def udp_rate_cap(path: Path, offered_rate: float = float("inf")) -> float:
+    """Achievable UDP goodput (bit/s) on ``path`` before link sharing.
+
+    Loss removes the lost fraction of packets but, unlike TCP, does not
+    cause the sender to back off.
+    """
+    return offered_rate * (1.0 - path.loss) * UDP_GOODPUT_FACTOR \
+        if offered_rate != float("inf") else float("inf")

@@ -1,0 +1,162 @@
+"""Benchmark clients (paper §7).
+
+"40 TGen clients mirror Tor's performance benchmarking process by
+repeatedly downloading 50 KiB, 1 MiB, and 5 MiB files (timeouts are set
+to 15, 60, and 120 seconds, respectively)." Each transfer runs on a fresh
+circuit; the client records time-to-first-byte, time-to-last-byte, and
+whether the transfer timed out -- the raw data behind Figures 9a/9b.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.tornet.pathsel import PathSelector
+
+
+@dataclass
+class TransferRecord:
+    """One completed or failed benchmark transfer."""
+
+    size: int
+    started_at: int
+    ttfb: float | None = None
+    ttlb: float | None = None
+    timed_out: bool = False
+
+    @property
+    def finished(self) -> bool:
+        return self.timed_out or self.ttlb is not None
+
+
+@dataclass
+class ActiveTransfer:
+    """A benchmark transfer in flight."""
+
+    record: TransferRecord
+    path: tuple[str, str, str]
+    rtt: float
+    remaining_bytes: float
+    timeout: int
+    first_byte_seen: bool = False
+    #: Effective RTT including relay queueing, updated by the simulator.
+    current_rtt: float = 0.0
+    #: Persistent scheduling-luck factor applied on overloaded paths
+    #: (Tor's per-circuit EWMA scheduler is unfair under overload; a
+    #: circuit that lands in a starved position stays starved).
+    luck: float = 1.0
+
+    def __post_init__(self) -> None:
+        self.current_rtt = self.rtt
+
+
+class BenchmarkClient:
+    """One performance-benchmarking client."""
+
+    def __init__(
+        self,
+        name: str,
+        selector: PathSelector,
+        rtt_sampler,
+        sizes: tuple[int, ...],
+        timeouts: tuple[int, ...],
+        pause_seconds: int = 15,
+        seed: int = 0,
+    ):
+        self.name = name
+        self.sizes = sizes
+        self.timeouts = timeouts
+        self.pause_seconds = pause_seconds
+        self._selector = selector
+        self._rtt_sampler = rtt_sampler
+        self._rng = random.Random(seed)
+        self._size_index = self._rng.randrange(len(sizes))
+        self._next_start = self._rng.randrange(max(1, pause_seconds))
+        self.active: ActiveTransfer | None = None
+        self.records: list[TransferRecord] = []
+
+    def maybe_start(self, now: int) -> ActiveTransfer | None:
+        """Begin the next transfer if the pause has elapsed."""
+        if self.active is not None or now < self._next_start:
+            return None
+        size = self.sizes[self._size_index]
+        timeout = self.timeouts[self._size_index]
+        self._size_index = (self._size_index + 1) % len(self.sizes)
+        record = TransferRecord(size=size, started_at=now)
+        luck = min(
+            1.0,
+            max(0.005, math.exp(self._rng.gauss(math.log(0.4), 1.4))),
+        )
+        self.active = ActiveTransfer(
+            record=record,
+            path=self._selector.select_path(self._rng),
+            rtt=self._rtt_sampler(self._rng),
+            remaining_bytes=float(size),
+            timeout=timeout,
+            luck=luck,
+        )
+        return self.active
+
+    def advance(self, now: int, rate_bits: float) -> None:
+        """Apply one second of progress at ``rate_bits`` to the transfer."""
+        transfer = self.active
+        if transfer is None:
+            return
+        record = transfer.record
+        elapsed = now + 1 - record.started_at
+
+        if not transfer.first_byte_seen and rate_bits > 0:
+            # First byte: client->exit request propagation (through the
+            # congested path) plus the wait for the first cell at the
+            # allocated rate.
+            serialization = min(
+                transfer.timeout, (1024.0 * 8.0) / max(rate_bits, 1.0)
+            )
+            record.ttfb = (
+                (elapsed - 1) + 1.5 * transfer.current_rtt + serialization
+            )
+            transfer.first_byte_seen = True
+
+        transfer.remaining_bytes -= rate_bits / 8.0
+        if transfer.remaining_bytes <= 0:
+            overshoot = (
+                -transfer.remaining_bytes / (rate_bits / 8.0)
+                if rate_bits > 0
+                else 0.0
+            )
+            record.ttlb = elapsed - overshoot + 1.5 * transfer.current_rtt
+            if record.ttfb is None:
+                record.ttfb = record.ttlb
+            self._finish(now)
+        elif elapsed >= transfer.timeout:
+            record.timed_out = True
+            self._finish(now)
+
+    def _finish(self, now: int) -> None:
+        assert self.active is not None
+        self.records.append(self.active.record)
+        self.active = None
+        self._next_start = now + 1 + self.pause_seconds
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def error_rate(self) -> float:
+        """Fraction of this client's transfers that timed out."""
+        if not self.records:
+            return 0.0
+        failed = sum(1 for r in self.records if r.timed_out)
+        return failed / len(self.records)
+
+    def ttlb_values(self, size: int | None = None) -> list[float]:
+        return [
+            r.ttlb
+            for r in self.records
+            if r.ttlb is not None and (size is None or r.size == size)
+        ]
+
+    def ttfb_values(self) -> list[float]:
+        return [r.ttfb for r in self.records if r.ttfb is not None]

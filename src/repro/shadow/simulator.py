@@ -1,0 +1,339 @@
+"""Flow-level network simulator (the Shadow stand-in, paper §7).
+
+Each simulated second:
+
+1. background (Markov) clients refresh circuits and offer demand;
+2. benchmark clients start transfers on fresh weighted circuits;
+3. every circuit becomes a flow over its three relays, and a vectorised
+   exact max-min waterfilling allocates rates subject to per-relay
+   forwarding capacity and per-flow caps (demand, circuit windows,
+   client access links);
+4. benchmark transfers advance, recording TTFB/TTLB/timeouts;
+5. per-relay throughput and utilisation are accumulated.
+
+The waterfilling is the batch-freezing variant: each round either freezes
+every flow whose cap-residual is below the tightest resource level (in one
+vector operation) or saturates at least one relay, so rounds stay far
+below the flow count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.rng import fork_numpy
+from repro.shadow.benchclient import BenchmarkClient
+from repro.shadow.config import ShadowConfig, ShadowNetwork
+from repro.shadow.trafficgen import MarkovLoadGenerator
+from repro.tornet.circuit import circuit_rate_cap
+from repro.tornet.consensus import Consensus, RouterStatus
+from repro.tornet.pathsel import PathSelector
+
+_EPS = 1e-6
+
+#: Offered-demand/capacity ratio at which a relay's circuit scheduler
+#: starts being unfair (queues grow, EWMA starves bursty circuits), and
+#: the ratio at which the unfairness is fully developed.
+OVERLOAD_ONSET = 1.10
+OVERLOAD_FULL = 1.60
+
+
+def waterfill(
+    path_idx: np.ndarray, caps: np.ndarray, capacity: np.ndarray
+) -> np.ndarray:
+    """Exact max-min fair rates for flows over 3-relay paths.
+
+    ``path_idx`` is [F, 3] relay indices, ``caps`` [F] per-flow caps,
+    ``capacity`` [R] per-relay forwarding capacity. Returns rates [F].
+    """
+    n_flows = path_idx.shape[0]
+    n_relays = capacity.shape[0]
+    rates = np.zeros(n_flows)
+    if n_flows == 0:
+        return rates
+    active = caps > 0
+    remaining = capacity.astype(float).copy()
+
+    for _ in range(2 * (n_flows + n_relays) + 8):
+        if not active.any():
+            break
+        act_paths = path_idx[active]
+        counts = np.bincount(act_paths.ravel(), minlength=n_relays)
+        used = counts > 0
+        with np.errstate(divide="ignore"):
+            levels = np.where(used, remaining / np.maximum(counts, 1), np.inf)
+        level = levels.min()
+
+        residual = caps[active] - rates[active]
+        if np.isinf(level) or (residual > level + _EPS).sum() == 0:
+            # Every remaining flow fits under the tightest resource level:
+            # give each its full residual and finish.
+            np.subtract.at(
+                remaining,
+                act_paths.ravel(),
+                np.repeat(residual, 3),
+            )
+            rates[active] = caps[active]
+            active[:] = False
+            break
+
+        batch = residual <= level + _EPS
+        if batch.any():
+            # Freeze all cap-limited flows below the level in one shot.
+            batch_paths = act_paths[batch]
+            np.subtract.at(
+                remaining,
+                batch_paths.ravel(),
+                np.repeat(residual[batch], 3),
+            )
+            idx = np.flatnonzero(active)[batch]
+            rates[idx] = caps[idx]
+            active[idx] = False
+            continue
+
+        # Advance everyone by the level; at least one relay saturates.
+        rates[active] += level
+        remaining -= level * counts
+        saturated = remaining <= _EPS
+        if saturated.any():
+            crossing = saturated[path_idx].any(axis=1) & active
+            active &= ~crossing
+
+    return rates
+
+
+@dataclass
+class SimulationMetrics:
+    """Everything a performance run records (after warmup)."""
+
+    #: Summed per-relay forwarded traffic each second (bit/s) -- every
+    #: flow byte crosses three relays (Figure 9c's metric).
+    throughput_series: list[float] = field(default_factory=list)
+    #: Mean utilisation per relay over the run.
+    relay_utilization: dict[str, float] = field(default_factory=dict)
+    #: Max per-second forwarded traffic per relay (the observed-bandwidth
+    #: signal TorFlow's self-reports are built from), bit/s.
+    relay_peak_throughput: dict[str, float] = field(default_factory=dict)
+    #: 95th-percentile per-second forwarded traffic per relay, bit/s --
+    #: the *sustained* peak a short warmup run can stand in for the live
+    #: network's 5-day observed-bandwidth window with.
+    relay_p95_throughput: dict[str, float] = field(default_factory=dict)
+    #: Benchmark clients with their transfer records.
+    clients: list[BenchmarkClient] = field(default_factory=list)
+
+    def ttlb(self, size: int) -> list[float]:
+        values: list[float] = []
+        for client in self.clients:
+            values.extend(client.ttlb_values(size))
+        return values
+
+    def ttfb(self) -> list[float]:
+        values: list[float] = []
+        for client in self.clients:
+            values.extend(client.ttfb_values())
+        return values
+
+    def error_rates(self) -> list[float]:
+        return [c.error_rate() for c in self.clients]
+
+    def transfers_completed(self) -> int:
+        return sum(
+            sum(1 for r in c.records if not r.timed_out)
+            for c in self.clients
+        )
+
+    def transfers_failed(self) -> int:
+        return sum(
+            sum(1 for r in c.records if r.timed_out) for c in self.clients
+        )
+
+    def median_throughput(self) -> float:
+        if not self.throughput_series:
+            return 0.0
+        return float(np.median(self.throughput_series))
+
+
+class NetworkSimulator:
+    """Runs one performance simulation under a given weight assignment."""
+
+    def __init__(self, network: ShadowNetwork, seed: int = 0):
+        self.network = network
+        self.config = network.config
+        self.seed = seed
+        self._fingerprints = sorted(network.relays.relays)
+        self._index = {fp: i for i, fp in enumerate(self._fingerprints)}
+        self._capacity = np.array(
+            [network.relays[fp].true_capacity for fp in self._fingerprints]
+        )
+
+    def _consensus(self, weights: dict[str, float]) -> Consensus:
+        consensus = Consensus(valid_after=0)
+        for fp in self._fingerprints:
+            relay = self.network.relays[fp]
+            consensus.add(
+                RouterStatus(
+                    fingerprint=fp,
+                    weight=max(weights.get(fp, 0.0), 0.0),
+                    flags=relay.flags,
+                )
+            )
+        return consensus
+
+    def run(self, weights: dict[str, float]) -> SimulationMetrics:
+        """Simulate ``sim_seconds`` + warmup under ``weights``."""
+        config = self.config
+        selector = PathSelector(self._consensus(weights), seed=self.seed)
+        rtt_sampler = self.network.sample_circuit_rtt
+        rng_np = fork_numpy(self.seed, "shadow-sim")
+
+        total_capacity = float(self._capacity.sum())
+        offered = (
+            total_capacity
+            * config.utilization_target
+            / 3.0
+            * config.load_multiplier
+        )
+        per_client = offered / max(1, config.n_markov_clients)
+        # Enough circuits per client that typical per-circuit demand stays
+        # well under the circuit flow-control window (real Tor clients
+        # multiplex across many circuits; small test configs would
+        # otherwise window-cap their offered load).
+        n_circuits = max(3, int(per_client / 3e6) + 1)
+        background = [
+            MarkovLoadGenerator(
+                name=f"markov{i}",
+                base_demand=per_client,
+                selector=selector,
+                rtt_sampler=rtt_sampler,
+                circuit_lifetime=config.circuit_lifetime_seconds,
+                n_circuits=n_circuits,
+                seed=self.seed * 100003 + i,
+            )
+            for i in range(config.n_markov_clients)
+        ]
+        benchmarks = [
+            BenchmarkClient(
+                name=f"bench{i}",
+                selector=selector,
+                rtt_sampler=rtt_sampler,
+                sizes=config.benchmark_sizes,
+                timeouts=config.benchmark_timeouts,
+                pause_seconds=config.benchmark_pause_seconds,
+                seed=self.seed * 200003 + i,
+            )
+            for i in range(config.n_benchmark_clients)
+        ]
+
+        metrics = SimulationMetrics(clients=benchmarks)
+        n_relays = len(self._fingerprints)
+        util_acc = np.zeros(n_relays)
+        peak = np.zeros(n_relays)
+        load_history: list[np.ndarray] = []
+        #: Previous second's per-relay utilisation: congested relays queue
+        #: cells, inflating effective circuit RTT and shrinking the
+        #: window-limited throughput (Tor's fixed windows over growing
+        #: queues -- the mechanism behind slow transfers in loaded Tor).
+        prev_util = np.zeros(n_relays)
+        measured_seconds = 0
+        horizon = config.warmup_seconds + config.sim_seconds
+
+        def congested_rtt(base_rtt: float, relay_ids: tuple[int, ...]) -> float:
+            queue_factor = float(prev_util[list(relay_ids)].mean())
+            return base_rtt * (1.0 + 2.5 * queue_factor ** 2)
+
+        for now in range(horizon):
+            # --- Collect this second's flows ---------------------------
+            paths: list[tuple[int, int, int]] = []
+            caps: list[float] = []
+            owners: list[BenchmarkClient | None] = []
+
+            for generator in background:
+                for circuit, demand in generator.demands(now):
+                    ids = tuple(self._index[fp] for fp in circuit.path)
+                    window = circuit_rate_cap(
+                        congested_rtt(circuit.rtt, ids), n_streams=2
+                    )
+                    paths.append(ids)
+                    caps.append(min(demand, window))
+                    owners.append(None)
+
+            for client in benchmarks:
+                client.maybe_start(now)
+                transfer = client.active
+                if transfer is None:
+                    continue
+                ids = tuple(self._index[fp] for fp in transfer.path)
+                # Benchmark downloads are single-stream (torperf-style),
+                # so the 500-cell stream window binds.
+                transfer.current_rtt = congested_rtt(transfer.rtt, ids)
+                window = circuit_rate_cap(transfer.current_rtt, n_streams=1)
+                paths.append(ids)
+                caps.append(min(window, config.client_access_bits))
+                owners.append(client)
+
+            path_idx = np.array(paths, dtype=np.int64).reshape(-1, 3)
+            cap_arr = np.array(caps)
+            noise = np.clip(
+                rng_np.normal(1.0, 0.02, n_relays), 0.85, 1.15
+            )
+            rates = waterfill(path_idx, cap_arr, self._capacity * noise)
+
+            # Oversubscription per relay: offered demand vs capacity.
+            offered_load = np.bincount(
+                path_idx.ravel(),
+                weights=np.repeat(cap_arr, 3),
+                minlength=n_relays,
+            )
+            oversub = offered_load / np.maximum(self._capacity, 1.0)
+
+            # --- Advance benchmark transfers ----------------------------
+            for flow_i, owner in enumerate(owners):
+                if owner is None:
+                    continue
+                rate = float(rates[flow_i])
+                transfer = owner.active
+                if transfer is not None:
+                    # Tor's per-circuit EWMA scheduling is unfair under
+                    # overload: circuits through a heavily oversubscribed
+                    # relay do not get their max-min share -- unlucky ones
+                    # starve almost completely (the source of transfer
+                    # timeouts in loaded Tor networks, paper Fig 9b).
+                    worst = float(
+                        oversub[[self._index[fp] for fp in transfer.path]].max()
+                    )
+                    if worst > OVERLOAD_ONSET:
+                        severity = min(
+                            1.0,
+                            (worst - OVERLOAD_ONSET)
+                            / (OVERLOAD_FULL - OVERLOAD_ONSET),
+                        )
+                        rate *= transfer.luck ** severity
+                owner.advance(now, rate)
+
+            # --- Record -------------------------------------------------
+            relay_load = np.bincount(
+                path_idx.ravel(),
+                weights=np.repeat(rates, 3),
+                minlength=n_relays,
+            )
+            prev_util = np.minimum(
+                1.0, relay_load / np.maximum(self._capacity, 1.0)
+            )
+            if now >= config.warmup_seconds:
+                metrics.throughput_series.append(float(relay_load.sum()))
+                util_acc += prev_util
+                peak = np.maximum(peak, relay_load)
+                load_history.append(relay_load)
+                measured_seconds += 1
+
+        if measured_seconds:
+            p95 = np.percentile(np.stack(load_history), 95, axis=0)
+            for i, fp in enumerate(self._fingerprints):
+                metrics.relay_utilization[fp] = float(
+                    util_acc[i] / measured_seconds
+                )
+                metrics.relay_peak_throughput[fp] = float(peak[i])
+                metrics.relay_p95_throughput[fp] = float(p95[i])
+        return metrics

@@ -1,0 +1,34 @@
+"""Load-balancing baselines: TorFlow, EigenSpeed, PeerFlow (paper §2, §8).
+
+These are the systems FlashFlow is compared against in Table 2 and in the
+Shadow experiments (Figures 8/9):
+
+- :mod:`repro.torflow.scanner` -- TorFlow: 2-hop measurement circuits
+  downloading fixed-size files, combined with relay self-reports;
+- :mod:`repro.torflow.eigenspeed` -- EigenSpeed: principal-eigenvector
+  aggregation of peer throughput observations;
+- :mod:`repro.torflow.peerflow` -- PeerFlow: secure aggregation of peer
+  byte counts with a trusted-weight anchor;
+- :mod:`repro.torflow.comparison` -- the Table 2 harness.
+"""
+
+from repro.torflow.eigenspeed import EigenSpeed, eigenspeed_liar_attack
+from repro.torflow.peerflow import PeerFlow, peerflow_inflation_attack
+from repro.torflow.scanner import (
+    TORFLOW_FILE_SIZES,
+    TorFlowScanner,
+    torflow_weights,
+)
+from repro.torflow.comparison import SystemRow, comparison_table
+
+__all__ = [
+    "EigenSpeed",
+    "PeerFlow",
+    "SystemRow",
+    "TORFLOW_FILE_SIZES",
+    "TorFlowScanner",
+    "comparison_table",
+    "eigenspeed_liar_attack",
+    "peerflow_inflation_attack",
+    "torflow_weights",
+]

@@ -1,0 +1,162 @@
+"""EigenSpeed baseline (paper §8; Snader & Borisov).
+
+EigenSpeed has every relay record the average per-stream throughput it
+observes with every other relay and report the vector to the DirAuths,
+who assemble the matrix T and iteratively compute its principal
+eigenvector as the relay weights. The computation is initialised from a
+set of trusted relays, and relays whose values change atypically can be
+marked malicious and removed.
+
+The paper's Table 2 cites three attacks from PeerFlow's analysis [25]:
+Sybil amplification of unevaluated relays, an increase-framing attack, and
+a targeted liar attack inflating colluders' weight by up to ~21.5x. The
+liar attack is implemented in :func:`eigenspeed_liar_attack`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import fork_numpy
+
+
+@dataclass
+class EigenSpeed:
+    """The DirAuth-side EigenSpeed computation."""
+
+    #: Convergence tolerance for power iteration.
+    tolerance: float = 1e-10
+    max_iterations: int = 1000
+    #: Relative per-round weight change beyond which a relay is flagged
+    #: (the liar-detection heuristic).
+    change_flag_threshold: float = 100.0
+
+    def observation_matrix(
+        self,
+        capacities: dict[str, float],
+        seed: int = 0,
+        noise_std: float = 0.10,
+    ) -> tuple[list[str], np.ndarray]:
+        """Honest pairwise observations: per-stream throughput.
+
+        A stream between relays i and j is bottlenecked by the slower
+        side's per-stream share; we model share as proportional to
+        capacity (both relays serve many streams), symmetric by
+        construction, with lognormal-ish observation noise.
+        """
+        relays = sorted(capacities)
+        n = len(relays)
+        rng = fork_numpy(seed, "eigenspeed-observations")
+        caps = np.array([capacities[fp] for fp in relays])
+        pairwise_min = np.minimum.outer(caps, caps)
+        noise = rng.lognormal(mean=0.0, sigma=noise_std, size=(n, n))
+        noise = (noise + noise.T) / 2.0  # keep observations symmetric
+        matrix = pairwise_min * noise
+        np.fill_diagonal(matrix, 0.0)
+        return relays, matrix
+
+    def compute_weights(
+        self,
+        relays: list[str],
+        matrix: np.ndarray,
+        trusted: list[str] | None = None,
+    ) -> dict[str, float]:
+        """Principal eigenvector via power iteration (trusted init)."""
+        n = len(relays)
+        if matrix.shape != (n, n):
+            raise ConfigurationError("matrix does not match relay list")
+        if n == 0:
+            return {}
+        index = {fp: i for i, fp in enumerate(relays)}
+        vector = np.zeros(n)
+        if trusted:
+            for fp in trusted:
+                vector[index[fp]] = 1.0
+        else:
+            vector[:] = 1.0
+        vector /= vector.sum()
+
+        # Row-normalise so the iteration is a weighted trust propagation.
+        row_sums = matrix.sum(axis=1, keepdims=True)
+        row_sums[row_sums == 0] = 1.0
+        transition = matrix / row_sums
+
+        for _ in range(self.max_iterations):
+            nxt = vector @ transition
+            total = nxt.sum()
+            if total <= 0:
+                break
+            nxt /= total
+            if np.abs(nxt - vector).max() < self.tolerance:
+                vector = nxt
+                break
+            vector = nxt
+
+        # Scale the normalized eigenvector back to throughput units using
+        # trusted relays (whose observations are assumed accurate).
+        scale = 1.0
+        anchor = trusted or relays
+        anchor_idx = [index[fp] for fp in anchor if vector[index[fp]] > 0]
+        if anchor_idx:
+            observed = np.array(
+                [matrix[i].max() for i in anchor_idx]
+            )
+            weights_at_anchor = vector[anchor_idx]
+            positive = weights_at_anchor > 0
+            if positive.any():
+                scale = float(
+                    np.median(observed[positive] / weights_at_anchor[positive])
+                )
+        return {fp: float(vector[index[fp]] * scale) for fp in relays}
+
+
+def eigenspeed_liar_attack(
+    capacities: dict[str, float],
+    malicious: list[str],
+    inflation: float = 1000.0,
+    trusted: list[str] | None = None,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Targeted liar attack: colluders inflate observations of each other.
+
+    Returns summary statistics including the weight-inflation factor the
+    colluders achieve (their weight share divided by their capacity
+    share). PeerFlow's analysis [25] reports 7.4-28.1x depending on the
+    trusted set; Table 2 quotes 21.5x.
+    """
+    system = EigenSpeed()
+    relays, honest_matrix = system.observation_matrix(capacities, seed=seed)
+    index = {fp: i for i, fp in enumerate(relays)}
+
+    attacked = honest_matrix.copy()
+    max_plausible = max(capacities.values()) * inflation
+    for a in malicious:
+        for b in malicious:
+            if a != b:
+                attacked[index[a], index[b]] = max_plausible
+
+    honest_weights = system.compute_weights(relays, honest_matrix, trusted)
+    attacked_weights = system.compute_weights(relays, attacked, trusted)
+
+    def share(weights: dict[str, float], group: list[str]) -> float:
+        total = sum(weights.values())
+        if total <= 0:
+            return 0.0
+        return sum(weights[fp] for fp in group) / total
+
+    capacity_share = sum(capacities[fp] for fp in malicious) / sum(
+        capacities.values()
+    )
+    honest_share = share(honest_weights, malicious)
+    attacked_share = share(attacked_weights, malicious)
+    return {
+        "capacity_share": capacity_share,
+        "honest_share": honest_share,
+        "attacked_share": attacked_share,
+        "inflation_factor": (
+            attacked_share / capacity_share if capacity_share > 0 else 0.0
+        ),
+    }

@@ -1,0 +1,137 @@
+"""Directory authorities and the shared-randomness protocol (paper §2, §4.3).
+
+The DirAuths act as trust anchors: they collect relay descriptors, take the
+**median** of the per-BWAuth weight measurements for each relay, and sign
+hourly consensuses. FlashFlow's randomized measurement schedule is seeded
+from Tor's shared-randomness protocol, reproduced here as the standard
+commit-reveal construction over SHA-256: each authority commits to a random
+value, then reveals; the seed is the hash of all reveals, so no minority of
+authorities can bias it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import statistics
+from dataclasses import dataclass, field
+
+from repro.errors import ProtocolError
+from repro.rng import fork
+from repro.tornet.consensus import Consensus, RouterStatus
+
+
+@dataclass
+class DirectoryAuthority:
+    """One directory authority; trusts exactly one BWAuth (paper §4)."""
+
+    name: str
+    trusted_bwauth: str | None = None
+
+
+def median_vote(values: list[float]) -> float:
+    """The DirAuths' median aggregation of BWAuth measurements."""
+    if not values:
+        raise ProtocolError("cannot take the median of zero votes")
+    return float(statistics.median(values))
+
+
+def build_consensus(
+    valid_after: int,
+    bwauth_weights: dict[str, dict[str, float]],
+    flags: dict[str, frozenset[str]] | None = None,
+    min_votes: int = 1,
+) -> Consensus:
+    """Combine per-BWAuth weight votes into a consensus.
+
+    ``bwauth_weights`` maps bwauth name -> {fingerprint -> weight}. A relay
+    enters the consensus once at least ``min_votes`` BWAuths measured it;
+    its weight is the median of the available votes (paper §4: "the
+    DirAuths place the median of their measurements in the consensus").
+    """
+    flags = flags or {}
+    votes: dict[str, list[float]] = {}
+    for weights in bwauth_weights.values():
+        for fingerprint, weight in weights.items():
+            votes.setdefault(fingerprint, []).append(weight)
+    consensus = Consensus(valid_after=valid_after)
+    for fingerprint, relay_votes in votes.items():
+        if len(relay_votes) < min_votes:
+            continue
+        consensus.add(
+            RouterStatus(
+                fingerprint=fingerprint,
+                weight=median_vote(relay_votes),
+                flags=flags.get(
+                    fingerprint, frozenset({"Running", "Valid"})
+                ),
+            )
+        )
+    return consensus
+
+
+class SharedRandomness:
+    """Commit-reveal shared randomness among authorities (srv-spec).
+
+    Rounds proceed: every authority commits ``H(reveal)``; once all commits
+    are in, authorities reveal; each reveal is checked against its commit;
+    the round seed is ``SHA-256(sorted reveals)``. The FlashFlow
+    measurement schedule derives its per-period randomness from this seed,
+    so relays cannot predict when they will be measured (paper §4.3).
+    """
+
+    def __init__(self, authority_names: list[str], seed: int = 0):
+        if not authority_names:
+            raise ProtocolError("need at least one authority")
+        self._names = sorted(authority_names)
+        self._rng = fork(seed, "shared-randomness")
+        self._commits: dict[str, bytes] = {}
+        self._reveals: dict[str, bytes] = {}
+        self._phase = "commit"
+
+    @property
+    def phase(self) -> str:
+        return self._phase
+
+    def make_reveal(self) -> bytes:
+        """Generate a fresh 32-byte reveal value (for an honest authority)."""
+        return self._rng.getrandbits(256).to_bytes(32, "big")
+
+    @staticmethod
+    def commitment(reveal: bytes) -> bytes:
+        return hashlib.sha256(b"commit" + reveal).digest()
+
+    def submit_commit(self, name: str, commit: bytes) -> None:
+        if self._phase != "commit":
+            raise ProtocolError("commit phase is over")
+        if name not in self._names:
+            raise ProtocolError(f"unknown authority {name!r}")
+        self._commits[name] = commit
+        if len(self._commits) == len(self._names):
+            self._phase = "reveal"
+
+    def submit_reveal(self, name: str, reveal: bytes) -> None:
+        if self._phase != "reveal":
+            raise ProtocolError("not in reveal phase")
+        if self.commitment(reveal) != self._commits.get(name):
+            raise ProtocolError(f"authority {name!r} reveal does not match commit")
+        self._reveals[name] = reveal
+        if len(self._reveals) == len(self._names):
+            self._phase = "done"
+
+    def seed(self) -> bytes:
+        """The agreed 32-byte seed; valid once every authority revealed."""
+        if self._phase != "done":
+            raise ProtocolError("protocol not complete")
+        material = b"".join(self._reveals[n] for n in self._names)
+        return hashlib.sha256(b"shared-random" + material).digest()
+
+    @classmethod
+    def run_round(cls, authority_names: list[str], seed: int = 0) -> bytes:
+        """Run a full honest round and return the shared seed."""
+        protocol = cls(authority_names, seed=seed)
+        reveals = {name: protocol.make_reveal() for name in protocol._names}
+        for name, reveal in reveals.items():
+            protocol.submit_commit(name, cls.commitment(reveal))
+        for name, reveal in reveals.items():
+            protocol.submit_reveal(name, reveal)
+        return protocol.seed()

@@ -1,0 +1,81 @@
+"""Tor cells: fixed 514-byte units (paper §2).
+
+Communication through Tor happens in fixed-length cells: a 4-byte circuit
+id, a 1-byte command, and a 509-byte payload. FlashFlow adds a measurement
+circuit-creation command and measurement cells whose payloads are random
+bytes (paper §4.1); the §3.4 live experiment used an analogous SPEEDTEST
+cell. This module implements the wire encoding so the verification path
+(random echo-cell checking) operates on real bytes.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+import struct
+from dataclasses import dataclass
+
+from repro.units import CELL_LEN
+
+#: Payload length: cell minus the circuit-id (4) and command (1) header.
+PAYLOAD_LEN = CELL_LEN - 5
+
+_HEADER = struct.Struct(">IB")
+
+
+class CellType(enum.IntEnum):
+    """Cell commands relevant to the reproduction."""
+
+    PADDING = 0
+    CREATE = 1
+    CREATED = 2
+    RELAY = 3
+    DESTROY = 4
+    #: FlashFlow measurement circuit creation (new circuit-creation cell).
+    CREATE_MEASURE = 40
+    CREATED_MEASURE = 41
+    #: FlashFlow measurement cell filled with random bytes.
+    MEASURE = 42
+    #: The §3.4 experiment's client-echo cell.
+    SPEEDTEST = 43
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One 514-byte Tor cell."""
+
+    circ_id: int
+    command: CellType
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.circ_id < 2 ** 32:
+            raise ValueError("circuit id out of range")
+        if len(self.payload) != PAYLOAD_LEN:
+            raise ValueError(
+                f"payload must be exactly {PAYLOAD_LEN} bytes, "
+                f"got {len(self.payload)}"
+            )
+
+    def encode(self) -> bytes:
+        """Serialise to the 514-byte wire format."""
+        return _HEADER.pack(self.circ_id, int(self.command)) + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Cell":
+        """Parse a 514-byte wire cell."""
+        if len(data) != CELL_LEN:
+            raise ValueError(f"cell must be {CELL_LEN} bytes, got {len(data)}")
+        circ_id, command = _HEADER.unpack(data[:5])
+        return cls(circ_id=circ_id, command=CellType(command), payload=data[5:])
+
+    @classmethod
+    def measurement(cls, circ_id: int, payload: bytes | None = None) -> "Cell":
+        """Build a MEASURE cell; payload defaults to fresh random bytes."""
+        if payload is None:
+            payload = os.urandom(PAYLOAD_LEN)
+        return cls(circ_id=circ_id, command=CellType.MEASURE, payload=payload)
+
+    def with_payload(self, payload: bytes) -> "Cell":
+        """Return a copy of this cell carrying ``payload``."""
+        return Cell(circ_id=self.circ_id, command=self.command, payload=payload)

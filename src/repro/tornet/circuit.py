@@ -1,0 +1,71 @@
+"""Circuits and window-based flow control (paper §2, Appendix C).
+
+A circuit is a client's path through (up to) three relays. Tor enforces a
+circuit-level window of 1000 in-flight cells (SENDME at every 100), which
+caps a single circuit's throughput at ``window / RTT``. The paper's lab
+experiments proxy three curl streams per circuit because "by running at
+least two application streams, one will max out the circuit's flow control
+limit" -- a single stream is additionally capped by its 500-cell stream
+window.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.units import CELL_LEN
+
+#: Tor circuit-level window, cells.
+CIRCUIT_WINDOW_CELLS = 1000
+#: Tor stream-level window, cells.
+STREAM_WINDOW_CELLS = 500
+
+_circ_ids = itertools.count(1)
+
+
+def circuit_rate_cap(rtt_seconds: float, n_streams: int = 1) -> float:
+    """Flow-control throughput cap (bit/s) of one circuit.
+
+    With a single stream the stream window binds; with two or more the
+    circuit window does.
+    """
+    if rtt_seconds <= 0:
+        return float("inf")
+    if n_streams <= 0:
+        return 0.0
+    window_cells = min(CIRCUIT_WINDOW_CELLS,
+                       STREAM_WINDOW_CELLS * n_streams)
+    return window_cells * CELL_LEN * 8.0 / rtt_seconds
+
+
+@dataclass
+class Circuit:
+    """A built circuit: ordered relay fingerprints plus stream bookkeeping."""
+
+    path: tuple[str, ...]
+    n_streams: int = 1
+    circ_id: int = field(default_factory=lambda: next(_circ_ids))
+    #: Marked true for FlashFlow measurement circuits (one-hop, unextendable).
+    is_measurement: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ValueError("circuit needs at least one relay")
+        if self.is_measurement and len(self.path) != 1:
+            raise ValueError("measurement circuits are one-hop and cannot "
+                             "be extended (paper §4.1)")
+        if len(set(self.path)) != len(self.path):
+            raise ValueError("a relay may appear only once in a circuit")
+
+    @property
+    def entry(self) -> str:
+        return self.path[0]
+
+    @property
+    def exit(self) -> str:
+        return self.path[-1]
+
+    def rate_cap(self, rtt_seconds: float) -> float:
+        """This circuit's flow-control cap at the given end-to-end RTT."""
+        return circuit_rate_cap(rtt_seconds, self.n_streams)

@@ -1,0 +1,66 @@
+"""Network consensus documents (paper §2).
+
+The directory authorities vote hourly and publish a consensus listing every
+usable relay with its flags and load-balancing weight. Clients select
+relays with probability proportional to (normalized) consensus weight,
+which is what makes weight accuracy matter (paper §3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.units import HOUR
+
+#: Consensus voting cadence, seconds.
+CONSENSUS_INTERVAL = HOUR
+
+
+@dataclass(frozen=True)
+class RouterStatus:
+    """One relay's entry in a consensus."""
+
+    fingerprint: str
+    weight: float
+    flags: frozenset[str] = frozenset({"Running", "Valid"})
+    nickname: str = ""
+
+    def has_flag(self, flag: str) -> bool:
+        return flag in self.flags
+
+
+@dataclass
+class Consensus:
+    """A signed network consensus: valid-after time plus router entries."""
+
+    valid_after: int
+    routers: dict[str, RouterStatus] = field(default_factory=dict)
+
+    def add(self, status: RouterStatus) -> None:
+        self.routers[status.fingerprint] = status
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.routers
+
+    def __len__(self) -> int:
+        return len(self.routers)
+
+    def total_weight(self) -> float:
+        return sum(r.weight for r in self.routers.values())
+
+    def normalized_weight(self, fingerprint: str) -> float:
+        """W(r, t): this relay's fraction of total consensus weight."""
+        total = self.total_weight()
+        if total <= 0:
+            return 0.0
+        return self.routers[fingerprint].weight / total
+
+    def normalized_weights(self) -> dict[str, float]:
+        """All relays' normalized weights (sums to 1 when any weight > 0)."""
+        total = self.total_weight()
+        if total <= 0:
+            return {fp: 0.0 for fp in self.routers}
+        return {fp: r.weight / total for fp, r in self.routers.items()}
+
+    def with_flag(self, flag: str) -> list[RouterStatus]:
+        return [r for r in self.routers.values() if r.has_flag(flag)]

@@ -1,0 +1,69 @@
+"""Relay CPU cell-processing model (paper §6.1, Appendices C/D).
+
+Tor runs all cell scheduling in a single thread, so a relay's forwarding
+capacity is bounded by one CPU core regardless of core count. The paper's
+lab machine processed 1.25 Gbit/s at peak; its US-SW Internet host managed
+890 Mbit/s.
+
+Managing sockets costs CPU, and the cost differs by scheduler:
+
+- *normal* (KIST) sockets are expensive past the ~20-socket peak -- the
+  lab's Figure 11 shows capacity declining as sockets are added beyond it;
+- *measurement* sockets are handled by FlashFlow's separate scheduler,
+  designed to be cheap per socket, so a full ``s = 160``-socket
+  measurement costs only a few percent of capacity (otherwise FlashFlow
+  could not measure within the paper's Figure 6 error bounds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import mbit
+
+#: Socket count at which normal-scheduler overhead starts to bite
+#: (the lab peak in Figure 11).
+OVERHEAD_FREE_SOCKETS = 20
+#: Fractional capacity cost per normal socket beyond the free count,
+#: calibrated to Figure 11's ~12% decline between 20 and 100 sockets.
+NORMAL_OVERHEAD_PER_SOCKET = 0.0017
+#: Fractional capacity cost per measurement socket (separate scheduler;
+#: ~4.6% at the full s = 160, within the paper's error budget).
+MEASUREMENT_OVERHEAD_PER_SOCKET = 0.0003
+
+
+@dataclass
+class CpuModel:
+    """Single-threaded cell-processing capacity of a relay.
+
+    ``max_forward_bits`` is the peak Tor forwarding rate one core sustains
+    on this hardware (crypto + scheduling for 514-byte cells).
+    """
+
+    max_forward_bits: float = mbit(1248)
+    overhead_free_sockets: int = OVERHEAD_FREE_SOCKETS
+    normal_overhead_per_socket: float = NORMAL_OVERHEAD_PER_SOCKET
+    measurement_overhead_per_socket: float = MEASUREMENT_OVERHEAD_PER_SOCKET
+
+    def effective_capacity(
+        self, n_normal_sockets: int = 0, n_measurement_sockets: int = 0
+    ) -> float:
+        """Forwarding capacity (bit/s) with the given socket mix."""
+        if n_normal_sockets < 0 or n_measurement_sockets < 0:
+            raise ValueError("socket counts cannot be negative")
+        overhead = (
+            self.normal_overhead_per_socket
+            * max(0, n_normal_sockets - self.overhead_free_sockets)
+            + self.measurement_overhead_per_socket * n_measurement_sockets
+        )
+        return self.max_forward_bits / (1.0 + overhead)
+
+    def utilization(self, forward_bits: float, n_normal_sockets: int = 0,
+                    n_measurement_sockets: int = 0) -> float:
+        """Fraction of one core consumed to forward at ``forward_bits``."""
+        capacity = self.effective_capacity(
+            n_normal_sockets, n_measurement_sockets
+        )
+        if capacity <= 0:
+            return 1.0
+        return min(1.0, forward_bits / capacity)

@@ -1,0 +1,49 @@
+"""Server descriptors (paper §2, tor-spec dir-spec §2.1.1).
+
+Every relay publishes a server descriptor roughly every 18 hours carrying
+its self-measured *observed bandwidth* and any configured rate limits. The
+*advertised bandwidth* -- the quantity TorFlow (and the paper's §3
+analysis) consumes -- is the minimum of the observed bandwidth and the
+rate limits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import HOUR
+
+#: Descriptor publication interval, seconds.
+PUBLISH_INTERVAL = 18 * HOUR
+
+
+@dataclass(frozen=True)
+class ServerDescriptor:
+    """One published server descriptor.
+
+    Bandwidth fields are in bytes/second, matching the real descriptor
+    format; use :attr:`advertised_bw` for the min(observed, limits) value.
+    """
+
+    fingerprint: str
+    published_at: int
+    observed_bw: float
+    bandwidth_rate: float | None = None
+    bandwidth_burst: float | None = None
+    nickname: str = ""
+
+    @property
+    def advertised_bw(self) -> float:
+        """min(observed bandwidth, configured rate limits), bytes/sec."""
+        values = [self.observed_bw]
+        if self.bandwidth_rate is not None:
+            values.append(self.bandwidth_rate)
+        if self.bandwidth_burst is not None:
+            values.append(self.bandwidth_burst)
+        return min(values)
+
+
+def due_for_publish(last_published: int | None, now: int,
+                    interval: int = PUBLISH_INTERVAL) -> bool:
+    """Whether a relay should publish a fresh descriptor at time ``now``."""
+    return last_published is None or now - last_published >= interval

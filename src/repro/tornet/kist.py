@@ -1,0 +1,29 @@
+"""KIST-style normal scheduler model (paper §4.1, Appendix C, ticket 29427).
+
+Tor's KIST scheduler is designed for priority scheduling across *many*
+sockets and performs poorly with few: per-socket write quanta cap the
+throughput a single socket can carry. The paper's Figure 11 shows lab
+throughput rising roughly linearly with socket count until the CPU
+saturates near 13-20 sockets at ~1,248 Mbit/s -- about 96 Mbit/s per
+socket. This is exactly why FlashFlow adds a *separate* measurement
+scheduler (see :mod:`repro.tornet.meassched`): measurement traffic must hit
+full relay capacity with far fewer sockets than normal client traffic uses.
+"""
+
+from __future__ import annotations
+
+from repro.units import mbit
+
+#: Throughput one socket can carry under the normal (KIST) scheduler.
+KIST_PER_SOCKET_CAP = mbit(96)
+
+
+def kist_rate_cap(n_sockets: int, per_socket_cap: float = KIST_PER_SOCKET_CAP) -> float:
+    """Aggregate throughput cap (bit/s) of the normal scheduler.
+
+    This caps only the *scheduler*; CPU and link limits apply on top (see
+    :meth:`repro.tornet.relay.Relay.forwarding_capacity`).
+    """
+    if n_sockets < 0:
+        raise ValueError("socket count cannot be negative")
+    return n_sockets * per_socket_cap

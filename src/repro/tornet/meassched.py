@@ -1,0 +1,26 @@
+"""FlashFlow's measurement-cell scheduler (paper §4.1).
+
+"The target relay schedules cells on measurement circuits using a separate
+cell scheduler to ensure high throughput even with fewer sockets than
+typical for a Tor relay." The measurement scheduler round-robins across
+measurement circuits with large write quanta, so a single measurement
+socket can carry the relay's full forwarding capacity -- the property
+behind the paper's Figure 12 single-socket results (1,269 Mbit/s peak).
+"""
+
+from __future__ import annotations
+
+from repro.units import gbit
+
+#: Per-socket throughput the measurement scheduler sustains. High enough
+#: that CPU/link/TCP limits always bind first.
+MEASUREMENT_PER_SOCKET_CAP = gbit(1.6)
+
+
+def measurement_rate_cap(
+    n_sockets: int, per_socket_cap: float = MEASUREMENT_PER_SOCKET_CAP
+) -> float:
+    """Aggregate scheduler cap (bit/s) for measurement traffic."""
+    if n_sockets < 0:
+        raise ValueError("socket count cannot be negative")
+    return n_sockets * per_socket_cap

@@ -1,0 +1,173 @@
+"""Whole-network container and the synthetic July-2019 Tor network.
+
+Paper §7 drives its efficiency simulation from archived July 2019
+consensuses: a median of 6,419 relays with ~608 Gbit/s total capacity, a
+maximum relay capacity of 998 Mbit/s, a 75th-percentile advertised
+bandwidth of 51 Mbit/s, and a median of 3 (max 98) new relays per hourly
+consensus. :func:`synthesize_network` generates networks matching that
+shape from a clipped lognormal capacity distribution; the calibration test
+suite pins the aggregate statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.rng import fork
+from repro.tornet.relay import Relay
+from repro.units import mbit
+
+#: July 2019 calibration targets (paper §7).
+JULY_2019_RELAY_COUNT = 6419
+JULY_2019_TOTAL_CAPACITY = 608e9
+JULY_2019_MAX_CAPACITY = mbit(998)
+JULY_2019_NEW_RELAY_SEED = mbit(51)
+
+#: Clipped-lognormal parameters reproducing the July 2019 aggregates.
+_LOGNORMAL_MEDIAN = mbit(30)
+_LOGNORMAL_SIGMA = 1.6
+_MIN_CAPACITY = mbit(0.1)
+
+
+@dataclass
+class TorNetwork:
+    """A set of relays with ground-truth capacities."""
+
+    relays: dict[str, Relay] = field(default_factory=dict)
+
+    def add(self, relay: Relay) -> None:
+        self.relays[relay.fingerprint] = relay
+
+    def __len__(self) -> int:
+        return len(self.relays)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.relays
+
+    def __getitem__(self, fingerprint: str) -> Relay:
+        return self.relays[fingerprint]
+
+    def capacities(self) -> dict[str, float]:
+        """Ground-truth capacity (bit/s) per relay."""
+        return {fp: r.true_capacity for fp, r in self.relays.items()}
+
+    def total_capacity(self) -> float:
+        return sum(r.true_capacity for r in self.relays.values())
+
+    def max_capacity(self) -> float:
+        if not self.relays:
+            return 0.0
+        return max(r.true_capacity for r in self.relays.values())
+
+    def percentile_capacity(self, pct: float) -> float:
+        """The ``pct``-th percentile of relay capacities (0-100)."""
+        if not self.relays:
+            return 0.0
+        values = sorted(r.true_capacity for r in self.relays.values())
+        if len(values) == 1:
+            return values[0]
+        rank = (pct / 100.0) * (len(values) - 1)
+        low = int(math.floor(rank))
+        high = min(low + 1, len(values) - 1)
+        frac = rank - low
+        return values[low] * (1 - frac) + values[high] * frac
+
+    def subset(self, fingerprints: list[str]) -> "TorNetwork":
+        return TorNetwork({fp: self.relays[fp] for fp in fingerprints})
+
+
+def sample_capacity(rng, median: float = _LOGNORMAL_MEDIAN,
+                    sigma: float = _LOGNORMAL_SIGMA,
+                    max_capacity: float = JULY_2019_MAX_CAPACITY) -> float:
+    """Draw one relay capacity from the clipped lognormal."""
+    value = math.exp(rng.gauss(math.log(median), sigma))
+    return max(_MIN_CAPACITY, min(max_capacity, value))
+
+
+def _assign_flags(capacity: float, rng) -> frozenset[str]:
+    """Assign Guard/Exit flags, skewed toward higher-capacity relays.
+
+    Roughly matches the live network: ~15% of relays are exits and ~35%
+    guards, with big relays far more likely to hold the flags.
+    """
+    flags = {"Running", "Valid", "Fast"}
+    size_factor = min(1.0, capacity / mbit(100))
+    if rng.random() < 0.05 + 0.35 * size_factor:
+        flags.add("Guard")
+    if rng.random() < 0.05 + 0.25 * size_factor:
+        flags.add("Exit")
+    return frozenset(flags)
+
+
+def synthesize_network(
+    n_relays: int = JULY_2019_RELAY_COUNT,
+    seed: int = 0,
+    median: float = _LOGNORMAL_MEDIAN,
+    sigma: float = _LOGNORMAL_SIGMA,
+    max_capacity: float = JULY_2019_MAX_CAPACITY,
+    prefix: str = "relay",
+) -> TorNetwork:
+    """Generate a synthetic Tor network with July-2019-like capacities."""
+    rng = fork(seed, f"network-{prefix}-{n_relays}")
+    network = TorNetwork()
+    for index in range(n_relays):
+        capacity = sample_capacity(rng, median, sigma, max_capacity)
+        fingerprint = f"{prefix}{index:05d}"
+        relay = Relay.with_capacity(
+            fingerprint=fingerprint,
+            capacity_bits=capacity,
+            nickname=f"{prefix}{index}",
+            flags=_assign_flags(capacity, rng),
+            seed=seed + index,
+        )
+        network.add(relay)
+    return network
+
+
+def sample_scaled_network(
+    full: TorNetwork, fraction: float = 0.05, seed: int = 0
+) -> TorNetwork:
+    """Sample a scaled-down network (the paper's 5% Shadow network, §7).
+
+    Sampling is stratified by capacity decile so the scaled network keeps
+    the full network's capacity distribution shape, following the Shadow
+    modelling best practices the paper cites [20].
+    """
+    rng = fork(seed, "scaled-network")
+    ordered = sorted(
+        full.relays.values(), key=lambda r: r.true_capacity
+    )
+    take = max(1, round(len(ordered) * fraction))
+    picked: list[Relay] = []
+    stride = len(ordered) / take
+    for i in range(take):
+        window_start = int(i * stride)
+        window_end = max(window_start + 1, int((i + 1) * stride))
+        picked.append(ordered[rng.randrange(window_start, window_end)])
+    return TorNetwork({r.fingerprint: r for r in picked})
+
+
+def new_relay_arrivals(
+    n_consensuses: int, seed: int = 0, mean_rate: float = 3.0,
+    burst_probability: float = 0.01, burst_max: int = 98,
+) -> list[int]:
+    """Replay-style counts of new relays per hourly consensus (paper §7).
+
+    Poisson arrivals (median 3) with rare large bursts (the paper saw a
+    max of 98 -- e.g. after outages or Sybil events).
+    """
+    rng = fork(seed, "new-relay-arrivals")
+    counts = []
+    for _ in range(n_consensuses):
+        if rng.random() < burst_probability:
+            counts.append(rng.randint(20, burst_max))
+        else:
+            # Poisson sampling via Knuth's method (rates are tiny).
+            limit = math.exp(-mean_rate)
+            k, product = 0, rng.random()
+            while product > limit:
+                k += 1
+                product *= rng.random()
+            counts.append(k)
+    return counts

@@ -1,0 +1,108 @@
+"""Weighted relay/path selection (paper §2).
+
+Clients choose circuit relays with probability proportional to consensus
+weight, subject to position constraints: the exit must carry the Exit flag,
+the guard the Guard flag, and a relay appears at most once per circuit.
+The quality of load balancing is exactly the quality of these weights,
+which is what Figures 8 and 9 evaluate.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+
+from repro.errors import ConfigurationError
+from repro.tornet.consensus import Consensus
+
+
+class WeightedSampler:
+    """O(log n) weighted sampling without replacement support."""
+
+    def __init__(self, items: list[str], weights: list[float]):
+        if len(items) != len(weights):
+            raise ConfigurationError("items and weights must align")
+        pairs = [(i, w) for i, w in zip(items, weights) if w > 0]
+        self._items = [i for i, _ in pairs]
+        self._cumulative = list(itertools.accumulate(w for _, w in pairs))
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def total(self) -> float:
+        return self._cumulative[-1] if self._cumulative else 0.0
+
+    def sample(self, rng: random.Random, exclude: set[str] | None = None,
+               max_tries: int = 64) -> str:
+        """Draw one item, rejection-sampling around ``exclude``."""
+        if not self._items:
+            raise ConfigurationError("cannot sample from an empty set")
+        exclude = exclude or set()
+        for _ in range(max_tries):
+            point = rng.random() * self.total
+            index = bisect.bisect_right(self._cumulative, point)
+            index = min(index, len(self._items) - 1)
+            choice = self._items[index]
+            if choice not in exclude:
+                return choice
+        # Dense exclusion: fall back to explicit renormalisation.
+        remaining = [
+            (i, w)
+            for i, w in zip(
+                self._items,
+                [self._cumulative[0]]
+                + [
+                    b - a
+                    for a, b in zip(self._cumulative, self._cumulative[1:])
+                ],
+            )
+            if i not in exclude
+        ]
+        if not remaining:
+            raise ConfigurationError("every candidate is excluded")
+        total = sum(w for _, w in remaining)
+        point = rng.random() * total
+        acc = 0.0
+        for item, weight in remaining:
+            acc += weight
+            if point <= acc:
+                return item
+        return remaining[-1][0]
+
+
+class PathSelector:
+    """Builds three-hop paths weighted by consensus weight."""
+
+    def __init__(self, consensus: Consensus, seed: int = 0):
+        self._consensus = consensus
+        self._rng = random.Random(seed)
+        routers = list(consensus.routers.values())
+        self._all = WeightedSampler(
+            [r.fingerprint for r in routers], [r.weight for r in routers]
+        )
+        guards = [r for r in routers if r.has_flag("Guard")]
+        exits = [r for r in routers if r.has_flag("Exit")]
+        # Small test networks may lack flagged relays; degrade gracefully to
+        # the full set rather than failing to build circuits.
+        self._guards = WeightedSampler(
+            [r.fingerprint for r in (guards or routers)],
+            [r.weight for r in (guards or routers)],
+        )
+        self._exits = WeightedSampler(
+            [r.fingerprint for r in (exits or routers)],
+            [r.weight for r in (exits or routers)],
+        )
+
+    def select_path(self, rng: random.Random | None = None) -> tuple[str, str, str]:
+        """Select a (guard, middle, exit) path."""
+        rng = rng or self._rng
+        exit_fp = self._exits.sample(rng)
+        guard_fp = self._guards.sample(rng, exclude={exit_fp})
+        middle_fp = self._all.sample(rng, exclude={exit_fp, guard_fp})
+        return (guard_fp, middle_fp, exit_fp)
+
+    def selection_probability(self, fingerprint: str) -> float:
+        """Approximate per-circuit selection probability (any position)."""
+        return self._consensus.normalized_weight(fingerprint)

@@ -1,0 +1,316 @@
+"""The Tor relay model (paper §2, §4.1, §6).
+
+A relay's forwarding capacity each second is the minimum of:
+
+- its single-threaded CPU cell-processing capacity (socket-count aware),
+- its access-link capacity,
+- any operator-configured rate limit (token bucket, 1-second burst),
+- the active schedulers' caps (KIST-style for normal traffic; FlashFlow's
+  separate measurement scheduler for measurement circuits).
+
+During a FlashFlow measurement the relay enforces the normal-traffic ratio
+``r``: cells sent by the normal scheduler may be at most a fraction ``r``
+of all cells sent, and the relay sends as much normal traffic as that
+allows (paper §4.1). Relay misbehaviour (lying about background traffic,
+forging echo cells, showing capacity only when measured) plugs in through
+:class:`RelayBehavior`; the honest behaviour is the default.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.netsim.hosts import Host
+from repro.tornet.cell import Cell
+from repro.tornet.cpu import CpuModel
+from repro.tornet.kist import kist_rate_cap
+from repro.tornet.meassched import measurement_rate_cap
+from repro.tornet.observedbw import ObservedBandwidth
+from repro.tornet.relaycrypto import CircuitKey
+from repro.tornet.tokenbucket import TokenBucket
+from repro.rng import fork
+
+
+class RelayBehavior:
+    """Hooks a relay's implementation can override; defaults are honest."""
+
+    #: Human-readable label used in experiment output.
+    name = "honest"
+
+    def report_background(self, actual_bytes: float, relay: "Relay") -> float:
+        """Background bytes the relay *claims* to have forwarded."""
+        return actual_bytes
+
+    def echo_payload(self, correct_payload: bytes, relay: "Relay") -> bytes:
+        """Payload returned for a measurement cell (honest: the decryption)."""
+        return correct_payload
+
+    def capacity_factor(self, being_measured: bool, relay: "Relay") -> float:
+        """Multiplier on true capacity (used for selective-capacity attacks)."""
+        return 1.0
+
+    def enforces_ratio(self) -> bool:
+        """Whether the relay honours the normal-traffic ratio ``r``."""
+        return True
+
+
+@dataclass
+class SecondReport:
+    """What happened at a relay during one second of a measurement slot."""
+
+    #: Measurement bytes the relay echoed (ground truth, observed by
+    #: measurers as received bytes).
+    measurement_bytes: float
+    #: Normal (client) bytes actually forwarded.
+    background_actual_bytes: float
+    #: Normal bytes the relay *reported* to the BWAuth (may be a lie).
+    background_reported_bytes: float
+    #: The relay's total forwarding capacity this second (diagnostics).
+    capacity_bits: float
+
+
+@dataclass
+class Relay:
+    """A Tor relay.
+
+    Use :meth:`with_capacity` for the common case where a single intrinsic
+    Tor-forwarding capacity is known (e.g. relays sampled from a consensus);
+    construct directly to model CPU/link/rate-limit components separately
+    (the §6 Internet-experiment targets).
+    """
+
+    fingerprint: str
+    nickname: str = ""
+    host: Host | None = None
+    cpu: CpuModel = field(default_factory=CpuModel)
+    #: Operator rate limit in bit/s (RelayBandwidthRate); None = unlimited.
+    rate_limit: float | None = None
+    flags: frozenset[str] = frozenset({"Running", "Valid"})
+    behavior: RelayBehavior = field(default_factory=RelayBehavior)
+    #: Fractional per-second capacity jitter.
+    jitter: float = 0.02
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.observed_bw = ObservedBandwidth()
+        self._bucket: TokenBucket | None = None
+        if self.rate_limit is not None:
+            self._bucket = TokenBucket(rate=self.rate_limit / 8.0)
+        self._rng: random.Random = fork(self.seed, f"relay-{self.fingerprint}")
+        #: (bwauth_id, period_index) pairs already measured; the relay only
+        #: accepts one measurement per BWAuth per period (paper §4.1).
+        self._measured_in: set[tuple[str, int]] = set()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def with_capacity(
+        cls,
+        fingerprint: str,
+        capacity_bits: float,
+        nickname: str = "",
+        flags: frozenset[str] | None = None,
+        behavior: RelayBehavior | None = None,
+        seed: int = 0,
+        jitter: float = 0.02,
+    ) -> "Relay":
+        """A relay whose intrinsic Tor capacity is ``capacity_bits``.
+
+        The CPU model is made the binding constraint; link capacity is set
+        comfortably above it.
+        """
+        host = Host(
+            name=f"host-{fingerprint}",
+            link_capacity=capacity_bits * 2.0,
+            cpu_cores=4,
+        )
+        relay = cls(
+            fingerprint=fingerprint,
+            nickname=nickname or fingerprint[:8],
+            host=host,
+            cpu=CpuModel(max_forward_bits=capacity_bits),
+            flags=flags or frozenset({"Running", "Valid", "Fast"}),
+            behavior=behavior or RelayBehavior(),
+            seed=seed,
+            jitter=jitter,
+        )
+        return relay
+
+    def set_rate_limit(self, rate_bits: float | None) -> None:
+        """Set or clear RelayBandwidthRate (burst = one second of rate).
+
+        The Appendix E.2 experiments approximate relays of varied
+        capacities exactly this way.
+        """
+        self.rate_limit = rate_bits
+        self._bucket = (
+            TokenBucket(rate=rate_bits / 8.0) if rate_bits is not None else None
+        )
+
+    # ------------------------------------------------------------------
+    # Capacity
+    # ------------------------------------------------------------------
+
+    @property
+    def true_capacity(self) -> float:
+        """Ground-truth Tor capacity (bit/s) at the reference socket count.
+
+        Defined as the forwarding rate achievable at the CPU's
+        overhead-free socket count, bounded by link and rate limit -- the
+        quantity the paper calls *Tor ground truth* (§2).
+        """
+        caps = [self.cpu.max_forward_bits]
+        if self.host is not None:
+            caps.append(self.host.link_capacity)
+        if self.rate_limit is not None:
+            caps.append(self.rate_limit)
+        return min(caps)
+
+    def forwarding_capacity(
+        self,
+        n_measurement_sockets: int = 0,
+        n_background_sockets: int = 0,
+        being_measured: bool = False,
+    ) -> float:
+        """Instantaneous forwarding capacity (bit/s) before the rate limit.
+
+        The scheduler caps apply per traffic class: KIST for background
+        sockets, the measurement scheduler for measurement sockets; CPU and
+        link bound their sum.
+        """
+        scheduler_cap = 0.0
+        if n_background_sockets:
+            scheduler_cap += kist_rate_cap(n_background_sockets)
+        if n_measurement_sockets:
+            scheduler_cap += measurement_rate_cap(n_measurement_sockets)
+        caps = [
+            self.cpu.effective_capacity(
+                n_normal_sockets=n_background_sockets,
+                n_measurement_sockets=n_measurement_sockets,
+            ),
+            scheduler_cap,
+        ]
+        if self.host is not None:
+            caps.append(self.host.link_capacity)
+        capacity = min(caps)
+        capacity *= self.behavior.capacity_factor(being_measured, self)
+        return max(0.0, capacity)
+
+    def _noise(self) -> float:
+        return max(0.5, self._rng.gauss(1.0, self.jitter))
+
+    # ------------------------------------------------------------------
+    # Measurement admission (paper §4.1)
+    # ------------------------------------------------------------------
+
+    def accept_measurement(self, bwauth_id: str, period_index: int) -> bool:
+        """Accept a measurement from a BWAuth, once per period."""
+        key = (bwauth_id, period_index)
+        if key in self._measured_in:
+            return False
+        self._measured_in.add(key)
+        return True
+
+    # ------------------------------------------------------------------
+    # Per-second forwarding
+    # ------------------------------------------------------------------
+
+    def idle_second(
+        self,
+        background_demand_bits: float,
+        n_background_sockets: int = 20,
+        t: int | None = None,
+    ) -> float:
+        """Forward normal traffic for one second; returns bits forwarded."""
+        capacity = self.forwarding_capacity(
+            n_background_sockets=n_background_sockets
+        )
+        if self._bucket is not None:
+            capacity = min(capacity, self._bucket.available_second() * 8.0)
+        capacity *= self._noise()
+        forwarded_bits = min(background_demand_bits, capacity)
+        if self._bucket is not None:
+            self._bucket.consume_second(forwarded_bits / 8.0)
+        self.observed_bw.record_second(forwarded_bits / 8.0, t)
+        return forwarded_bits
+
+    def measured_second(
+        self,
+        measurement_supply_bits: float,
+        background_demand_bits: float,
+        ratio_r: float,
+        n_measurement_sockets: int,
+        n_background_sockets: int = 20,
+        t: int | None = None,
+        external_factor: float = 1.0,
+    ) -> SecondReport:
+        """One second of a measurement slot at this relay.
+
+        ``measurement_supply_bits`` is what the measurers can push this
+        second (after their own TCP/link constraints); the relay echoes as
+        much as its capacity allows while reserving at most ``r`` of total
+        for normal traffic. ``external_factor`` scales capacity for
+        environment effects outside the relay's control (cross traffic,
+        time-of-day congestion) sampled per measurement by the caller.
+        """
+        if not 0 <= ratio_r < 1:
+            raise ValueError("ratio r must be in [0, 1)")
+        capacity = self.forwarding_capacity(
+            n_measurement_sockets=n_measurement_sockets,
+            n_background_sockets=n_background_sockets,
+            being_measured=True,
+        )
+        if self._bucket is not None:
+            # Peek: the bucket bounds this second's forwarding; tokens are
+            # settled below against bytes actually forwarded, so an
+            # under-supplied second leaves the burst allowance intact.
+            capacity = min(capacity, self._bucket.available_second() * 8.0)
+        capacity *= self._noise() * external_factor
+
+        # Allocate capacity between measurement and normal traffic.
+        if self.behavior.enforces_ratio():
+            background = min(background_demand_bits, ratio_r * capacity)
+            measurement = min(measurement_supply_bits, capacity - background)
+            if ratio_r < 1:
+                background = min(
+                    background, measurement * ratio_r / (1.0 - ratio_r)
+                )
+            measurement = min(measurement_supply_bits, capacity - background)
+        else:
+            # A relay ignoring the ratio gives everything to measurement
+            # traffic (maximising its estimate) -- see attacks.relays.
+            measurement = min(measurement_supply_bits, capacity)
+            background = min(
+                background_demand_bits, max(0.0, capacity - measurement)
+            )
+
+        reported = self.behavior.report_background(background / 8.0, self) * 8.0
+        total_bits = measurement + background
+        if self._bucket is not None:
+            self._bucket.consume_second(total_bits / 8.0)
+        self.observed_bw.record_second(total_bits / 8.0, t)
+        return SecondReport(
+            measurement_bytes=measurement / 8.0,
+            background_actual_bytes=background / 8.0,
+            background_reported_bytes=reported / 8.0,
+            capacity_bits=capacity,
+        )
+
+    # ------------------------------------------------------------------
+    # Echo-cell processing (verification path, paper §4.1/§5)
+    # ------------------------------------------------------------------
+
+    def process_measurement_cell(
+        self, cell: Cell, key: CircuitKey, cell_index: int
+    ) -> Cell:
+        """Decrypt a measurement cell and return the echo.
+
+        An honest relay returns the proper decryption; a forging behaviour
+        substitutes whatever it likes and is caught by the measurer's
+        random content checks with overwhelming probability.
+        """
+        correct = key.process(cell.payload, cell_index)
+        return cell.with_payload(self.behavior.echo_payload(correct, self))

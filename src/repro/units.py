@@ -1,0 +1,84 @@
+"""Unit helpers used throughout the reproduction.
+
+The paper mixes several unit families: network capacities in Mbit/s and
+Gbit/s, transfer sizes in KiB and MiB, and Tor cells of a fixed 514 bytes.
+Internally every rate in this code base is stored in *bits per second*
+(float) and every size in *bytes* (int or float), and these helpers are the
+only place conversions happen.
+"""
+
+from __future__ import annotations
+
+#: Size of a Tor cell in bytes (fixed-length cells, payload + header).
+CELL_LEN = 514
+
+#: Bytes per KiB / MiB / GiB.
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: Bits per Kbit / Mbit / Gbit (SI, as used for network rates).
+KBIT = 1_000
+MBIT = 1_000_000
+GBIT = 1_000_000_000
+
+#: Seconds per larger time units.
+MINUTE = 60
+HOUR = 3600
+DAY = 24 * HOUR
+WEEK = 7 * DAY
+#: The paper's "month" periods are treated as 30 days and "year" as 365.
+MONTH = 30 * DAY
+YEAR = 365 * DAY
+
+
+def mbit(n: float) -> float:
+    """Return ``n`` Mbit/s expressed in bit/s."""
+    return n * MBIT
+
+
+def gbit(n: float) -> float:
+    """Return ``n`` Gbit/s expressed in bit/s."""
+    return n * GBIT
+
+
+def to_mbit(bits_per_sec: float) -> float:
+    """Return a bit/s rate expressed in Mbit/s."""
+    return bits_per_sec / MBIT
+
+
+def to_gbit(bits_per_sec: float) -> float:
+    """Return a bit/s rate expressed in Gbit/s."""
+    return bits_per_sec / GBIT
+
+
+def bytes_to_bits(n_bytes: float) -> float:
+    """Convert a byte count to bits."""
+    return n_bytes * 8
+
+
+def bits_to_bytes(n_bits: float) -> float:
+    """Convert a bit count to bytes."""
+    return n_bits / 8
+
+
+def rate_bytes_per_sec(bits_per_sec: float) -> float:
+    """Convert a bit/s rate to bytes/s."""
+    return bits_per_sec / 8
+
+
+def cells_for_bytes(n_bytes: float) -> int:
+    """Number of whole cells needed to carry ``n_bytes`` of payload."""
+    if n_bytes <= 0:
+        return 0
+    return int((n_bytes + CELL_LEN - 1) // CELL_LEN)
+
+
+def bdp_bytes(rate_bits_per_sec: float, rtt_seconds: float) -> float:
+    """Bandwidth-delay product of a link, in bytes.
+
+    A link's BDP is its capacity multiplied by its round-trip time; a TCP
+    connection must be able to buffer this much in-flight data to keep the
+    link full (paper Appendix D).
+    """
+    return rate_bits_per_sec * rtt_seconds / 8

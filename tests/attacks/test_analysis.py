@@ -1,0 +1,111 @@
+"""Tests for the closed-form security analysis (paper §5)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.analysis import (
+    dos_exposure_fraction,
+    expected_selective_gain,
+    forge_evasion_probability,
+    inflation_bound,
+    selective_capacity_failure_probability,
+    torflow_self_report_attack,
+)
+
+
+def test_inflation_bound_paper_value():
+    assert inflation_bound(0.25) == pytest.approx(1.33, abs=0.01)
+
+
+def test_inflation_bound_monotone_in_r():
+    assert inflation_bound(0.1) < inflation_bound(0.25) < inflation_bound(0.5)
+
+
+def test_inflation_bound_validation():
+    with pytest.raises(ValueError):
+        inflation_bound(1.0)
+
+
+def test_forge_evasion_decays():
+    p = 1e-5
+    assert forge_evasion_probability(p, 0) == 1.0
+    assert forge_evasion_probability(p, 10 ** 6) < 1e-4
+
+
+def test_forge_evasion_validation():
+    with pytest.raises(ValueError):
+        forge_evasion_probability(-0.1, 1)
+    with pytest.raises(ValueError):
+        forge_evasion_probability(0.5, -1)
+
+
+def test_selective_failure_at_least_half_for_q_below_half():
+    """§5: q < 1/2 fails with probability at least 0.5."""
+    for n in (1, 3, 5, 9):
+        for q in (0.1, 0.25, 0.4, 0.49):
+            assert selective_capacity_failure_probability(n, q) >= 0.5, (n, q)
+
+
+def test_selective_failure_single_bwauth():
+    # With one BWAuth the failure probability is exactly 1 - q.
+    assert selective_capacity_failure_probability(1, 0.3) == pytest.approx(0.7)
+
+
+def test_selective_failure_binomial_example():
+    """n = 5, q = 0.25: P[B(5, 0.75) >= 3] computed explicitly."""
+    expected = sum(
+        math.comb(5, k) * 0.75 ** k * 0.25 ** (5 - k) for k in range(3, 6)
+    )
+    assert selective_capacity_failure_probability(5, 0.25) == pytest.approx(
+        expected
+    )
+
+
+def test_selective_failure_validation():
+    with pytest.raises(ValueError):
+        selective_capacity_failure_probability(0, 0.5)
+    with pytest.raises(ValueError):
+        selective_capacity_failure_probability(3, 1.5)
+
+
+def test_expected_selective_gain_below_honest():
+    """Gambling on q = 0.25 of slots leaves expected estimate well below
+    full capacity -- the strategy does not pay."""
+    gain = expected_selective_gain(5, active_fraction=0.25, idle_fraction=0.1)
+    assert gain < 0.35
+
+
+def test_torflow_attack_factor():
+    assert torflow_self_report_attack(1e6, 177e6) == pytest.approx(177.0)
+    assert torflow_self_report_attack(1e6, 89e6, measured_ratio=1.0) == 89.0
+
+
+def test_torflow_attack_validation():
+    with pytest.raises(ValueError):
+        torflow_self_report_attack(0.0, 1e6)
+
+
+def test_dos_exposure_half_period():
+    assert dos_exposure_fraction(30, 86400, 5) == 0.5
+
+
+@given(
+    n=st.integers(min_value=1, max_value=15),
+    q=st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_selective_failure_is_probability(n, q):
+    p = selective_capacity_failure_probability(n, q)
+    assert 0.0 <= p <= 1.0 + 1e-12
+
+
+@given(q=st.floats(min_value=0.01, max_value=0.49))
+@settings(max_examples=50, deadline=None)
+def test_more_bwauths_hurt_selective_relays(q):
+    """For q < 1/2, more BWAuths make failure MORE likely."""
+    assert selective_capacity_failure_probability(
+        9, q
+    ) >= selective_capacity_failure_probability(3, q) - 1e-9

@@ -1,0 +1,142 @@
+"""Tests for malicious relay behaviours end to end (paper §5)."""
+
+import statistics
+
+import pytest
+
+from repro import quick_team
+from repro.attacks.analysis import selective_capacity_failure_probability
+from repro.attacks.relays import (
+    ForgingRelayBehavior,
+    RatioCheatingRelayBehavior,
+    SelectiveCapacityRelayBehavior,
+    TrafficLiarRelayBehavior,
+    make_sybil_flood,
+)
+from repro.core.aggregation import aggregate_bwauth_votes
+from repro.core.params import FlashFlowParams
+from repro.core.schedule import PeriodSchedule
+from repro.errors import ScheduleError
+from repro.tornet.relay import Relay
+from repro.units import gbit, mbit
+
+
+def test_traffic_liar_reports_inflated():
+    behavior = TrafficLiarRelayBehavior(lie_factor=10.0)
+    relay = Relay.with_capacity("r", mbit(100), behavior=behavior)
+    assert behavior.report_background(50.0, relay) == 500.0
+
+
+def test_traffic_liar_validation():
+    with pytest.raises(ValueError):
+        TrafficLiarRelayBehavior(lie_factor=0.5)
+
+
+def test_ratio_cheater_ignores_ratio():
+    behavior = RatioCheatingRelayBehavior()
+    assert not behavior.enforces_ratio()
+
+
+def test_inflation_bound_holds_end_to_end(team_auth, params):
+    """The strongest traffic lie achieves at most ~1.33x (paper §5/§6.2)."""
+    inflations = []
+    for seed in range(8):
+        capacity = mbit(200)
+        cheat = Relay.with_capacity(
+            f"cheat{seed}", capacity,
+            behavior=RatioCheatingRelayBehavior(), seed=seed,
+        )
+        estimate = team_auth.measure_relay(
+            cheat, initial_estimate=capacity, seed_offset=seed * 31
+        )
+        inflations.append(estimate.capacity / capacity)
+    assert max(inflations) <= params.inflation_bound * 1.08
+    assert statistics.median(inflations) > 1.0  # the lie does inflate
+
+
+def test_forger_detected_and_zeroed(team_auth):
+    forger = Relay.with_capacity(
+        "forger", mbit(600), behavior=ForgingRelayBehavior(seed=2), seed=3
+    )
+    estimate = team_auth.measure_relay(forger, initial_estimate=mbit(600))
+    assert estimate.failed
+    assert estimate.capacity == 0.0
+
+
+def test_selective_capacity_median_defeats(team_auth):
+    """§5: a relay fast in a fraction q < 1/2 of slots cannot move the
+    median of independent BWAuth measurements."""
+    capacity = mbit(300)
+    # Seed chosen for a typical draw (~4 of 15 slots active); the
+    # binomial failure probability itself is asserted separately.
+    behavior = SelectiveCapacityRelayBehavior(
+        active_fraction=0.25, idle_fraction=0.1, seed=1
+    )
+    relay = Relay.with_capacity("selective", capacity, behavior=behavior, seed=5)
+
+    # 15 independent BWAuths: with q = 0.25 the chance of a majority of
+    # active slots is P[B(15, 0.25) >= 8] < 2%, so the median is reliably
+    # an idle-capacity measurement.
+    n_bwauths = 15
+    votes = {}
+    for bwauth_index in range(n_bwauths):
+        auth = quick_team(seed=100 + bwauth_index)
+        behavior.roll_slot()  # the relay gambles blindly each slot
+        estimate = auth.measure_relay(
+            relay, initial_estimate=capacity, seed_offset=bwauth_index
+        )
+        votes[f"b{bwauth_index}"] = {"selective": estimate.capacity}
+
+    aggregated = aggregate_bwauth_votes(votes)
+    assert selective_capacity_failure_probability(n_bwauths, 0.25) > 0.95
+    assert aggregated["selective"] < capacity * 0.5
+
+
+def test_selective_roll_distribution():
+    behavior = SelectiveCapacityRelayBehavior(active_fraction=0.3, seed=6)
+    rolls = [behavior.roll_slot() for _ in range(2000)]
+    assert sum(rolls) / len(rolls) == pytest.approx(0.3, abs=0.05)
+
+
+def test_sybil_flood_does_not_starve_old_relays():
+    """§5: old relays are scheduled first; Sybils wait FCFS."""
+    params = FlashFlowParams()
+    old = {f"old{i}": mbit(100) for i in range(20)}
+    schedule = PeriodSchedule.build(params, gbit(3), old, seed=b"w" * 32)
+    sybils = make_sybil_flood(50, mbit(100))
+    placed = 0
+    for fp in sybils.relays:
+        try:
+            schedule.add_new_relay(fp, mbit(51))
+            placed += 1
+        except ScheduleError:
+            break
+    # All old relays keep their slots; plenty of Sybils also fit.
+    assert set(old) <= set(schedule.assignments)
+    assert placed == 50
+
+
+def test_sybil_flood_shares_machine_capacity():
+    sybils = make_sybil_flood(10, mbit(100))
+    assert len(sybils) == 10
+    for relay in sybils.relays.values():
+        assert relay.true_capacity == pytest.approx(mbit(100))
+
+
+def test_forging_saves_cpu_but_is_caught():
+    """A forger gains capacity_factor 1.35 while measured -- exactly the
+    cheat FlashFlow's content checks exist to kill."""
+    behavior = ForgingRelayBehavior(seed=7)
+    relay = Relay.with_capacity("f", mbit(100), behavior=behavior)
+    assert behavior.capacity_factor(True, relay) == pytest.approx(1.35)
+    assert behavior.capacity_factor(False, relay) == 1.0
+
+
+def test_forge_fraction_validation():
+    with pytest.raises(ValueError):
+        ForgingRelayBehavior(forge_fraction=0.0)
+
+
+def test_selective_fraction_validation():
+    with pytest.raises(ValueError):
+        SelectiveCapacityRelayBehavior(active_fraction=1.5)

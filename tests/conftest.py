@@ -1,0 +1,38 @@
+"""Shared fixtures for the FlashFlow reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import quick_team
+from repro.core.params import FlashFlowParams
+from repro.netsim.latency import NetworkModel
+from repro.tornet.relay import Relay
+from repro.units import mbit
+
+
+@pytest.fixture
+def params() -> FlashFlowParams:
+    return FlashFlowParams()
+
+
+@pytest.fixture
+def small_params() -> FlashFlowParams:
+    """Short slots for fast protocol tests."""
+    return FlashFlowParams(slot_seconds=10)
+
+
+@pytest.fixture
+def team_auth():
+    """The paper's reference team: 3 x 1 Gbit/s measurers."""
+    return quick_team(seed=1234)
+
+
+@pytest.fixture
+def relay_250():
+    return Relay.with_capacity("relay-250", mbit(250), seed=7)
+
+
+@pytest.fixture
+def internet() -> NetworkModel:
+    return NetworkModel.paper_internet(seed=99)

@@ -1,0 +1,86 @@
+"""Tests for even allocation and measurer-side socket efficiency."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import allocate_evenly, total_allocated
+from repro.core.measurement import (
+    MEASURER_OVERHEAD_FREE_SOCKETS,
+    measurer_socket_efficiency,
+)
+from repro.core.measurer import Measurer
+from repro.errors import AllocationError
+from repro.netsim.hosts import Host
+from repro.units import gbit, mbit
+
+
+def _team(*capacities):
+    return [
+        Measurer(
+            name=f"m{i}",
+            host=Host(name=f"m{i}", link_capacity=c),
+            measured_capacity=c,
+        )
+        for i, c in enumerate(capacities)
+    ]
+
+
+def test_even_split_is_even():
+    team = _team(gbit(1), gbit(1), gbit(1))
+    assignments = allocate_evenly(team, mbit(900))
+    for a in assignments:
+        assert a.allocated == pytest.approx(mbit(300))
+    assert total_allocated(assignments) == pytest.approx(mbit(900))
+
+
+def test_even_split_respects_member_capacity():
+    team = _team(gbit(2), mbit(100))
+    with pytest.raises(AllocationError):
+        allocate_evenly(team, mbit(400))  # share 200 > m1's 100
+
+
+def test_even_split_empty_team():
+    with pytest.raises(AllocationError):
+        allocate_evenly([], mbit(100))
+
+
+def test_even_split_negative():
+    with pytest.raises(AllocationError):
+        allocate_evenly(_team(gbit(1)), -1.0)
+
+
+@given(
+    capacities=st.lists(
+        st.floats(min_value=1e8, max_value=5e9), min_size=1, max_size=5
+    ),
+    fraction=st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=80, deadline=None)
+def test_even_split_properties(capacities, fraction):
+    team = _team(*capacities)
+    required = min(capacities) * len(capacities) * fraction
+    assignments = allocate_evenly(team, required)
+    assert total_allocated(assignments) == pytest.approx(
+        required, rel=1e-9, abs=1e-6
+    )
+    shares = {a.allocated for a in assignments}
+    assert len(shares) == 1  # perfectly even
+
+
+def test_socket_efficiency_free_region():
+    assert measurer_socket_efficiency(1) == 1.0
+    assert measurer_socket_efficiency(MEASURER_OVERHEAD_FREE_SOCKETS) == 1.0
+
+
+def test_socket_efficiency_declines():
+    assert (
+        measurer_socket_efficiency(300)
+        < measurer_socket_efficiency(160)
+        < measurer_socket_efficiency(61)
+        <= 1.0
+    )
+
+
+def test_socket_efficiency_never_zero():
+    assert measurer_socket_efficiency(10_000) > 0.0

@@ -1,0 +1,231 @@
+"""Tests for the measurement slot loop (paper §4.1)."""
+
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.relays import (
+    ForgingRelayBehavior,
+    RatioCheatingRelayBehavior,
+    TrafficLiarRelayBehavior,
+)
+from repro.core.allocation import allocate_capacity
+from repro.core.measurement import (
+    MeasurementOutcome,
+    clamp_background,
+    run_measurement,
+)
+from repro.core.params import FlashFlowParams
+from repro.errors import MeasurementFailure
+from repro.tornet.relay import Relay
+from repro.units import mbit
+
+
+def _assignments(auth, required):
+    return allocate_capacity(auth.team, required)
+
+
+def test_basic_measurement_close_to_capacity(team_auth, params):
+    relay = Relay.with_capacity("r", mbit(250), seed=1)
+    outcome = run_measurement(
+        relay,
+        _assignments(team_auth, params.allocation_factor * mbit(250)),
+        params,
+        seed=2,
+    )
+    assert not outcome.failed
+    assert outcome.estimate == pytest.approx(mbit(250), rel=0.2)
+    assert outcome.duration == params.slot_seconds
+    assert len(outcome.per_second_total) == params.slot_seconds
+
+
+def test_estimate_is_median_of_per_second_totals(team_auth, params):
+    relay = Relay.with_capacity("r", mbit(100), seed=3)
+    outcome = run_measurement(
+        relay, _assignments(team_auth, mbit(300)), params, seed=4
+    )
+    assert outcome.estimate == pytest.approx(
+        statistics.median(outcome.per_second_total)
+    )
+
+
+def test_under_allocated_measurement_is_supply_limited(team_auth, params):
+    """With far too little measurer capacity, z tracks the allocation."""
+    relay = Relay.with_capacity("r", mbit(900), seed=5)
+    outcome = run_measurement(
+        relay, _assignments(team_auth, mbit(200)), params, seed=6
+    )
+    assert outcome.estimate < mbit(300)
+
+
+def test_background_traffic_included_and_clamped(team_auth, params):
+    relay = Relay.with_capacity("r", mbit(250), seed=7)
+    outcome = run_measurement(
+        relay,
+        _assignments(team_auth, params.allocation_factor * mbit(250)),
+        params,
+        background_demand=mbit(50),
+        seed=8,
+    )
+    assert not outcome.failed
+    # Background contributes, but never more than r/(1-r) of measurement.
+    for x, y in zip(
+        outcome.per_second_measurement, outcome.per_second_background_clamped
+    ):
+        assert y <= x * params.ratio / (1 - params.ratio) + 1e-6
+    assert outcome.estimate == pytest.approx(mbit(250), rel=0.2)
+
+
+def test_background_demand_callable(team_auth, params):
+    relay = Relay.with_capacity("r", mbit(100), seed=9)
+    outcome = run_measurement(
+        relay,
+        _assignments(team_auth, mbit(300)),
+        params,
+        background_demand=lambda t: mbit(10) if t < 5 else 0.0,
+        seed=10,
+    )
+    assert sum(outcome.per_second_background_clamped[:5]) > 0
+    assert sum(outcome.per_second_background_clamped[10:]) == 0
+
+
+def test_traffic_liar_bounded_by_inflation_factor(team_auth, params):
+    """§5: lying about background inflates z by at most 1/(1-r) = 1.33."""
+    capacity = mbit(250)
+    liar = Relay.with_capacity(
+        "liar", capacity,
+        behavior=RatioCheatingRelayBehavior(), seed=11,
+    )
+    outcome = run_measurement(
+        liar,
+        _assignments(team_auth, params.allocation_factor * capacity),
+        params,
+        background_demand=0.0,
+        seed=12,
+    )
+    assert not outcome.failed
+    assert outcome.estimate <= capacity * params.inflation_bound * 1.10
+    # And the lie does buy something over honesty (upper region reached).
+    assert outcome.estimate > capacity * 1.05
+
+
+def test_moderate_liar_also_clamped(team_auth, params):
+    relay = Relay.with_capacity(
+        "liar2", mbit(100),
+        behavior=TrafficLiarRelayBehavior(lie_factor=50.0), seed=13,
+    )
+    outcome = run_measurement(
+        relay,
+        _assignments(team_auth, params.allocation_factor * mbit(100)),
+        params,
+        background_demand=mbit(5),
+        seed=14,
+    )
+    assert outcome.estimate <= mbit(100) * params.inflation_bound * 1.10
+
+
+def test_forging_relay_fails_measurement(team_auth, params):
+    relay = Relay.with_capacity(
+        "forger", mbit(500),
+        behavior=ForgingRelayBehavior(seed=1), seed=15,
+    )
+    # Forgery checks fire with probability p per cell; at 500 Mbit/s the
+    # expected checks per 30 s slot is ~36, so detection is essentially
+    # certain with the paper's p.
+    outcome = run_measurement(
+        relay,
+        _assignments(team_auth, params.allocation_factor * mbit(500)),
+        params,
+        seed=16,
+    )
+    assert outcome.failed
+    assert outcome.estimate == 0.0
+    assert "content check" in outcome.failure_reason
+
+
+def test_admission_refusal(team_auth, params):
+    relay = Relay.with_capacity("r", mbit(100), seed=17)
+    assignments = _assignments(team_auth, mbit(300))
+    first = run_measurement(
+        relay, assignments, params, seed=18,
+        enforce_admission=True, bwauth_id="b0", period_index=0,
+    )
+    assert not first.failed
+    second = run_measurement(
+        relay, assignments, params, seed=19,
+        enforce_admission=True, bwauth_id="b0", period_index=0,
+    )
+    assert second.failed
+    assert "already measured" in second.failure_reason
+
+
+def test_no_participating_measurers_raises(team_auth, params):
+    relay = Relay.with_capacity("r", mbit(100))
+    assignments = _assignments(team_auth, mbit(300))
+    for a in assignments:
+        a.allocated = 0.0
+    with pytest.raises(MeasurementFailure):
+        run_measurement(relay, assignments, params, seed=20)
+
+
+def test_custom_duration(team_auth, params):
+    relay = Relay.with_capacity("r", mbit(100), seed=21)
+    outcome = run_measurement(
+        relay, _assignments(team_auth, mbit(300)), params,
+        duration=60, seed=22,
+    )
+    assert outcome.duration == 60
+    assert len(outcome.per_second_total) == 60
+
+
+def test_estimate_with_duration_truncation():
+    outcome = MeasurementOutcome(
+        estimate=0.0,
+        per_second_total=[10.0, 20.0, 30.0, 40.0, 50.0, 60.0],
+    )
+    assert outcome.estimate_with_duration(3) == 20.0
+    assert outcome.estimate_with_duration(6) == 35.0
+    assert outcome.estimate_with_duration(100) == 35.0
+    with pytest.raises(ValueError):
+        outcome.estimate_with_duration(0)
+
+
+def test_deterministic_given_seed(team_auth, params):
+    relay_a = Relay.with_capacity("r", mbit(100), seed=23)
+    relay_b = Relay.with_capacity("r", mbit(100), seed=23)
+    a = run_measurement(
+        relay_a, _assignments(team_auth, mbit(300)), params, seed=24
+    )
+    b = run_measurement(
+        relay_b, _assignments(team_auth, mbit(300)), params, seed=24
+    )
+    assert a.estimate == b.estimate
+
+
+def test_clamp_background_monotone():
+    assert clamp_background(100.0, 50.0, 0.25) == pytest.approx(
+        min(50.0, 100.0 / 3)
+    )
+    assert clamp_background(100.0, 5.0, 0.25) == 5.0
+    assert clamp_background(100.0, 500.0, 0.0) == 0.0
+    with pytest.raises(ValueError):
+        clamp_background(1.0, 1.0, 1.0)
+
+
+@given(
+    x=st.one_of(st.just(0.0), st.floats(min_value=1e-6, max_value=1e10)),
+    y=st.floats(min_value=0, max_value=1e12),
+    r=st.floats(min_value=0.0, max_value=0.9),
+)
+@settings(max_examples=200, deadline=None)
+def test_clamp_bound_property(x, y, r):
+    """Clamped background never exceeds the ratio bound, whatever the lie."""
+    clamped = clamp_background(x, y, r)
+    assert clamped <= y + 1e-9
+    if r > 0:
+        assert clamped <= x * r / (1 - r) + 1e-9
+        total = x + clamped
+        if total > 0:
+            assert clamped / total <= r + 1e-9

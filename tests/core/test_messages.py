@@ -1,0 +1,109 @@
+"""Tests for the authenticated protocol messages (Schnorr signatures)."""
+
+import pytest
+
+from repro.core.messages import (
+    MessageChannel,
+    MessageType,
+    ProtocolMessage,
+    SigningIdentity,
+)
+from repro.errors import AuthenticationError, ProtocolError
+
+
+@pytest.fixture(scope="module")
+def bwauth():
+    return SigningIdentity("bwauth0")
+
+
+def _announce(nonce=1, sender="bwauth0"):
+    return ProtocolMessage(
+        msg_type=MessageType.MEASUREMENT_ANNOUNCE,
+        sender=sender,
+        nonce=nonce,
+        payload={"measurer_keys": [1, 2, 3]},
+    )
+
+
+def test_sign_and_verify(bwauth):
+    msg = _announce().signed_by(bwauth)
+    msg.verify(bwauth.public)  # should not raise
+
+
+def test_unsigned_message_rejected(bwauth):
+    with pytest.raises(AuthenticationError):
+        _announce().verify(bwauth.public)
+
+
+def test_wrong_key_rejected(bwauth):
+    other = SigningIdentity("other")
+    msg = _announce().signed_by(bwauth)
+    with pytest.raises(AuthenticationError):
+        msg.verify(other.public)
+
+
+def test_tampered_payload_rejected(bwauth):
+    msg = _announce().signed_by(bwauth)
+    msg.payload["measurer_keys"] = [9]
+    with pytest.raises(AuthenticationError):
+        msg.verify(bwauth.public)
+
+
+def test_identity_must_match_sender(bwauth):
+    msg = _announce(sender="not-bwauth0")
+    with pytest.raises(ProtocolError):
+        msg.signed_by(bwauth)
+
+
+def test_signature_verifies_exact_message(bwauth):
+    a = _announce(nonce=1).signed_by(bwauth)
+    b = _announce(nonce=2)
+    b.signature = a.signature  # splice signature onto different message
+    with pytest.raises(AuthenticationError):
+        b.verify(bwauth.public)
+
+
+def test_channel_accepts_in_order(bwauth):
+    channel = MessageChannel("bwauth0", bwauth.public)
+    channel.receive(_announce(nonce=1).signed_by(bwauth))
+    channel.receive(_announce(nonce=2).signed_by(bwauth))
+
+
+def test_channel_rejects_replay(bwauth):
+    channel = MessageChannel("bwauth0", bwauth.public)
+    msg = _announce(nonce=5).signed_by(bwauth)
+    channel.receive(msg)
+    with pytest.raises(AuthenticationError):
+        channel.receive(msg)
+
+
+def test_channel_rejects_old_nonce(bwauth):
+    channel = MessageChannel("bwauth0", bwauth.public)
+    channel.receive(_announce(nonce=10).signed_by(bwauth))
+    with pytest.raises(AuthenticationError):
+        channel.receive(_announce(nonce=3).signed_by(bwauth))
+
+
+def test_channel_rejects_wrong_sender(bwauth):
+    channel = MessageChannel("bwauth0", bwauth.public)
+    mallory = SigningIdentity("mallory")
+    msg = _announce(sender="mallory").signed_by(mallory)
+    with pytest.raises(AuthenticationError):
+        channel.receive(msg)
+
+
+def test_signatures_are_randomized(bwauth):
+    """Schnorr signatures use a fresh nonce: same message, new signature."""
+    msg = _announce()
+    sig1 = bwauth.sign(msg.canonical_bytes())
+    sig2 = bwauth.sign(msg.canonical_bytes())
+    assert sig1 != sig2
+    assert SigningIdentity.verify(bwauth.public, msg.canonical_bytes(), sig1)
+    assert SigningIdentity.verify(bwauth.public, msg.canonical_bytes(), sig2)
+
+
+def test_verify_rejects_out_of_range_signature(bwauth):
+    msg = _announce().signed_by(bwauth)
+    assert not SigningIdentity.verify(
+        bwauth.public, msg.canonical_bytes(), (-1, 5)
+    )

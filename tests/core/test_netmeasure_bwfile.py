@@ -1,0 +1,160 @@
+"""Tests for full-network campaigns, bandwidth files, and aggregation."""
+
+import pytest
+
+from repro import quick_team
+from repro.core.aggregation import aggregate_bwauth_votes, consensus_from_votes
+from repro.core.bwfile import BandwidthFile, BandwidthLine
+from repro.core.netmeasure import measure_network
+from repro.errors import ConfigurationError, ProtocolError
+from repro.tornet.network import synthesize_network
+from repro.units import mbit
+
+
+@pytest.fixture(scope="module")
+def small_network():
+    return synthesize_network(n_relays=40, seed=21)
+
+
+def test_campaign_measures_every_relay(small_network):
+    auth = quick_team(seed=22)
+    result = measure_network(small_network, auth, full_simulation=True)
+    assert set(result.estimates) == set(small_network.relays)
+    assert not result.failures
+
+
+def test_campaign_estimates_accurate(small_network):
+    auth = quick_team(seed=23)
+    result = measure_network(small_network, auth, full_simulation=True)
+    for fp, estimate in result.estimates.items():
+        capacity = small_network[fp].true_capacity
+        assert 0.6 * capacity <= estimate <= 1.1 * capacity, fp
+
+
+def test_campaign_with_priors_uses_fewer_measurements(small_network):
+    auth_cold = quick_team(seed=24)
+    cold = measure_network(small_network, auth_cold, full_simulation=False)
+    auth_warm = quick_team(seed=24)
+    warm = measure_network(
+        small_network, auth_warm,
+        prior_estimates=dict(cold.estimates),
+        full_simulation=False,
+    )
+    assert warm.measurements_run <= cold.measurements_run
+    assert warm.slots_elapsed <= cold.slots_elapsed
+
+
+def test_campaign_releases_committed_capacity(small_network):
+    auth = quick_team(seed=25)
+    measure_network(small_network, auth, full_simulation=False)
+    for measurer in auth.team:
+        assert measurer.committed == pytest.approx(0.0)
+
+
+def test_campaign_analytic_mode_fast(small_network):
+    auth = quick_team(seed=26)
+    result = measure_network(small_network, auth, full_simulation=False)
+    assert len(result.estimates) == len(small_network)
+    assert result.slots_elapsed > 0
+    assert result.seconds_elapsed == result.slots_elapsed * 30
+
+
+def test_campaign_hours_property():
+    from repro.core.netmeasure import CampaignResult
+
+    result = CampaignResult(slots_elapsed=600, slot_seconds=30)
+    assert result.hours_elapsed == pytest.approx(5.0)
+
+
+# ---------------------------------------------------------------------------
+# Bandwidth files
+# ---------------------------------------------------------------------------
+
+def test_bwfile_round_trip():
+    bwfile = BandwidthFile.from_estimates(
+        {"r1": mbit(100), "r2": mbit(250)}, timestamp=1234
+    )
+    parsed = BandwidthFile.parse(bwfile.serialize())
+    assert parsed.timestamp == 1234
+    assert parsed.capacities()["r1"] == pytest.approx(mbit(100))
+    assert parsed.weights()["r2"] == pytest.approx(mbit(250))
+    assert len(parsed) == 2
+
+
+def test_bwfile_line_round_trip():
+    line = BandwidthLine("abc", bw=123.0, capacity_bps=456.0, measured_at=7)
+    parsed = BandwidthLine.parse(line.serialize())
+    assert parsed == line
+
+
+def test_bwfile_line_without_capacity():
+    line = BandwidthLine.parse("node_id=x bw=10")
+    assert line.capacity_bps is None
+
+
+def test_bwfile_malformed_line():
+    with pytest.raises(ConfigurationError):
+        BandwidthLine.parse("garbage")
+
+
+def test_bwfile_empty_rejected():
+    with pytest.raises(ConfigurationError):
+        BandwidthFile.parse("")
+
+
+def test_bwfile_missing_timestamp_rejected():
+    with pytest.raises(ConfigurationError):
+        BandwidthFile.parse("version=1.0 generator=flashflow")
+
+
+def test_bwfile_contains():
+    bwfile = BandwidthFile.from_estimates({"r1": 1.0})
+    assert "r1" in bwfile
+    assert "r2" not in bwfile
+
+
+# ---------------------------------------------------------------------------
+# Multi-BWAuth aggregation
+# ---------------------------------------------------------------------------
+
+def test_median_aggregation():
+    votes = {
+        "b0": {"r": mbit(100)},
+        "b1": {"r": mbit(110)},
+        "b2": {"r": mbit(900)},  # one corrupt BWAuth cannot move the median
+    }
+    aggregated = aggregate_bwauth_votes(votes)
+    assert aggregated["r"] == mbit(110)
+
+
+def test_majority_required():
+    votes = {"b0": {"r": 1.0}, "b1": {}, "b2": {}}
+    assert "r" not in aggregate_bwauth_votes(votes)
+    assert "r" in aggregate_bwauth_votes(votes, min_votes=1)
+
+
+def test_no_votes_rejected():
+    with pytest.raises(ProtocolError):
+        aggregate_bwauth_votes({})
+
+
+def test_consensus_from_votes():
+    votes = {
+        "b0": {"r1": 100.0, "r2": 50.0},
+        "b1": {"r1": 120.0, "r2": 60.0},
+        "b2": {"r1": 110.0, "r2": 55.0},
+    }
+    consensus = consensus_from_votes(votes, valid_after=99)
+    assert consensus.valid_after == 99
+    assert consensus.routers["r1"].weight == 110.0
+    assert consensus.normalized_weight("r1") == pytest.approx(110.0 / 165.0)
+
+
+def test_selective_capacity_defeated_by_median():
+    """§5: a relay fast during < half the measurements keeps a low median."""
+    low, high = mbit(10), mbit(100)
+    votes = {f"b{i}": {"r": low} for i in range(3)}
+    votes["b3"] = {"r": high}
+    votes["b4"] = {"r": high}
+    aggregated = aggregate_bwauth_votes(votes)
+    assert aggregated["r"] == low

@@ -1,0 +1,161 @@
+"""Tests for measurement scheduling (paper §4.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import FlashFlowParams
+from repro.core.schedule import PeriodSchedule, greedy_pack_slots
+from repro.errors import ScheduleError
+from repro.tornet.authority import SharedRandomness
+from repro.units import gbit, mbit
+
+
+@pytest.fixture
+def params():
+    return FlashFlowParams()
+
+
+def _estimates(n=50, seed=1):
+    import random
+
+    rng = random.Random(seed)
+    return {f"r{i}": mbit(rng.uniform(5, 500)) for i in range(n)}
+
+
+def test_every_old_relay_scheduled(params):
+    estimates = _estimates()
+    schedule = PeriodSchedule.build(params, gbit(3), estimates, seed=b"x" * 32)
+    assert set(schedule.assignments) == set(estimates)
+
+
+def test_same_seed_same_schedule(params):
+    estimates = _estimates()
+    seed = SharedRandomness.run_round(["a", "b", "c"], seed=1)
+    s1 = PeriodSchedule.build(params, gbit(3), estimates, seed=seed)
+    s2 = PeriodSchedule.build(params, gbit(3), estimates, seed=seed)
+    assert {f: a.slot for f, a in s1.assignments.items()} == {
+        f: a.slot for f, a in s2.assignments.items()
+    }
+
+
+def test_different_seed_different_schedule(params):
+    estimates = _estimates(n=100)
+    s1 = PeriodSchedule.build(params, gbit(3), estimates, seed=b"a" * 32)
+    s2 = PeriodSchedule.build(params, gbit(3), estimates, seed=b"b" * 32)
+    slots1 = {f: a.slot for f, a in s1.assignments.items()}
+    slots2 = {f: a.slot for f, a in s2.assignments.items()}
+    assert slots1 != slots2
+
+
+def test_no_slot_over_capacity(params):
+    estimates = _estimates(n=200, seed=2)
+    schedule = PeriodSchedule.build(params, gbit(3), estimates, seed=b"y" * 32)
+    for slot, load in schedule.slot_load.items():
+        assert load <= schedule.team_capacity + 1e-6
+
+
+def test_slots_are_randomized(params):
+    """Slots spread across the whole period, not packed at the front."""
+    estimates = _estimates(n=100, seed=3)
+    schedule = PeriodSchedule.build(params, gbit(3), estimates, seed=b"z" * 32)
+    slots = [a.slot for a in schedule.assignments.values()]
+    assert max(slots) > params.slots_per_period // 2
+    assert len(set(slots)) > 50
+
+
+def test_new_relay_fcfs(params):
+    estimates = _estimates(n=5, seed=4)
+    schedule = PeriodSchedule.build(params, gbit(3), estimates, seed=b"q" * 32)
+    a1 = schedule.add_new_relay("new1", mbit(51), earliest_slot=100)
+    a2 = schedule.add_new_relay("new2", mbit(51), earliest_slot=100)
+    assert a1.is_new and a2.is_new
+    assert a1.slot >= 100
+    assert a2.slot >= a1.slot  # first come, first served
+
+
+def test_new_relay_capacity_respected(params):
+    # Tiny team: one new relay fills a slot entirely.
+    small_params = FlashFlowParams(slot_seconds=30, period_seconds=90)
+    schedule = PeriodSchedule(
+        params=small_params, team_capacity=mbit(160), seed=b"s" * 32
+    )
+    a1 = schedule.add_new_relay("n1", mbit(50))
+    a2 = schedule.add_new_relay("n2", mbit(50))
+    assert a1.slot != a2.slot  # each needs f*50 = ~148 of the 160 capacity
+
+
+def test_schedule_full_raises(params):
+    small_params = FlashFlowParams(slot_seconds=30, period_seconds=60)
+    schedule = PeriodSchedule(
+        params=small_params, team_capacity=mbit(160), seed=b"t" * 32
+    )
+    schedule.add_new_relay("n1", mbit(50))
+    schedule.add_new_relay("n2", mbit(50))
+    with pytest.raises(ScheduleError):
+        schedule.add_new_relay("n3", mbit(50))
+
+
+def test_duplicate_relay_rejected(params):
+    estimates = {"r0": mbit(100)}
+    schedule = PeriodSchedule.build(params, gbit(3), estimates, seed=b"u" * 32)
+    with pytest.raises(ScheduleError):
+        schedule.add_new_relay("r0", mbit(100))
+
+
+def test_oversized_relay_gets_full_team_slot(params):
+    """A relay whose f*z0 exceeds team capacity still gets scheduled,
+    occupying a whole slot."""
+    estimates = {"huge": gbit(2), "small": mbit(10)}
+    schedule = PeriodSchedule.build(params, gbit(3), estimates, seed=b"v" * 32)
+    huge = schedule.assignments["huge"]
+    assert huge.required_capacity == pytest.approx(gbit(3))
+
+
+def test_greedy_pack_largest_first(params):
+    estimates = {"a": mbit(900), "b": mbit(900), "c": mbit(10), "d": mbit(10)}
+    slots = greedy_pack_slots(estimates, params, gbit(3))
+    # f*900 = 2.66G: one big relay per slot, small ones fill the gaps.
+    assert len(slots) == 2
+    assert slots[0][0] == "a" or slots[0][0] == "b"
+
+
+def test_greedy_pack_capacity_respected(params):
+    estimates = _estimates(n=100, seed=5)
+    slots = greedy_pack_slots(estimates, params, gbit(3))
+    for slot in slots:
+        load = sum(
+            min(params.allocation_factor * estimates[f], gbit(3))
+            for f in slot
+        )
+        assert load <= gbit(3) + 1e-6
+
+
+def test_greedy_pack_all_relays_covered(params):
+    estimates = _estimates(n=75, seed=6)
+    slots = greedy_pack_slots(estimates, params, gbit(3))
+    packed = [f for slot in slots for f in slot]
+    assert sorted(packed) == sorted(estimates)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=60),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=40, deadline=None)
+def test_greedy_pack_properties(n, seed):
+    """Every relay packed exactly once; no slot over team capacity."""
+    import random
+
+    rng = random.Random(seed)
+    params = FlashFlowParams()
+    estimates = {f"r{i}": mbit(rng.uniform(1, 998)) for i in range(n)}
+    slots = greedy_pack_slots(estimates, params, gbit(3))
+    packed = [f for slot in slots for f in slot]
+    assert sorted(packed) == sorted(estimates)
+    for slot in slots:
+        load = sum(
+            min(params.allocation_factor * estimates[f], gbit(3))
+            for f in slot
+        )
+        assert load <= gbit(3) + 1e-6

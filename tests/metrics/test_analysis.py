@@ -1,0 +1,163 @@
+"""Tests for Equations 1-7 on hand-constructed archives."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.analysis import (
+    capacity_proxy,
+    network_capacity_error,
+    network_weight_error,
+    normalized_capacity,
+    relative_std,
+    relative_std_means,
+    relay_capacity_error,
+    relay_capacity_error_means,
+    relay_weight_error,
+)
+from repro.metrics.archive import MetricsArchive
+
+
+def _archive(advertised, weights=None, presence=None, capacity=None):
+    advertised = np.asarray(advertised, dtype=float)
+    n, hours = advertised.shape
+    if weights is None:
+        totals = advertised.sum(axis=0)
+        totals[totals == 0] = 1.0
+        weights = advertised / totals
+    if presence is None:
+        presence = np.ones_like(advertised, dtype=bool)
+    return MetricsArchive(
+        relays=[f"r{i}" for i in range(n)],
+        advertised=advertised,
+        weights=np.asarray(weights, dtype=float),
+        presence=np.asarray(presence, dtype=bool),
+        true_capacity=capacity,
+    )
+
+
+def test_capacity_proxy_is_trailing_max():
+    archive = _archive([[10, 20, 15, 5, 30]])
+    proxy = capacity_proxy(archive, period_hours=2)
+    assert proxy[0].tolist() == [10, 20, 20, 15, 30]
+
+
+def test_capacity_proxy_full_window():
+    archive = _archive([[10, 20, 15, 5, 30]])
+    proxy = capacity_proxy(archive, period_hours=100)
+    assert proxy[0].tolist() == [10, 20, 20, 20, 30]
+
+
+def test_rce_eq2_values():
+    archive = _archive([[10, 20, 10]])
+    error = relay_capacity_error(archive, period_hours=3)
+    # Hour 2: A = 10, C = max(10, 20, 10) = 20 -> RCE = 0.5.
+    assert error[0, 2] == pytest.approx(0.5)
+    # Hour 1: A = 20 is the max -> RCE = 0.
+    assert error[0, 1] == pytest.approx(0.0)
+
+
+def test_rce_constant_relay_zero_error():
+    archive = _archive([[50] * 24])
+    means = relay_capacity_error_means(archive, period_hours=6, warmup_hours=6)
+    assert means[0] == pytest.approx(0.0)
+
+
+def test_rce_grows_with_period():
+    """The paper's central shape: longer windows -> larger error."""
+    rng = np.random.default_rng(1)
+    series = 100 * (0.5 + 0.1 * rng.standard_normal(500)).clip(0.1)
+    series[::97] = 100.0  # occasional spikes toward capacity
+    archive = _archive([series])
+    short = relay_capacity_error_means(archive, 24, warmup_hours=100)[0]
+    long = relay_capacity_error_means(archive, 400, warmup_hours=400)[0]
+    assert long > short
+
+
+def test_nce_eq3_weighted_by_size():
+    # Big relay error-free, small relay 50% wrong: NCE stays small.
+    archive = _archive(
+        [[1000, 1000], [10, 5]]
+    )
+    nce = network_capacity_error(archive, period_hours=2)
+    assert nce[1] == pytest.approx(1 - 1005 / 1010)
+
+
+def test_normalized_capacity_sums_to_one():
+    archive = _archive([[10, 10], [30, 30], [60, 60]])
+    cbar = normalized_capacity(archive, period_hours=2)
+    assert cbar[:, 1].sum() == pytest.approx(1.0)
+
+
+def test_rwe_eq5_perfect_weights():
+    advertised = [[10, 10], [90, 90]]
+    archive = _archive(advertised)
+    rwe = relay_weight_error(archive, period_hours=2)
+    # Weights here are proportional to the (constant) advertised = proxy.
+    assert rwe[0, 1] == pytest.approx(1.0)
+    assert rwe[1, 1] == pytest.approx(1.0)
+
+
+def test_nwe_eq6_total_variation():
+    archive = _archive(
+        [[50, 50], [50, 50]],
+        weights=[[0.9, 0.9], [0.1, 0.1]],
+    )
+    nwe = network_weight_error(archive, period_hours=2)
+    # Capacity shares are (0.5, 0.5); weights (0.9, 0.1): TVD = 0.4.
+    assert nwe[1] == pytest.approx(0.4)
+
+
+def test_nwe_with_true_capacity():
+    archive = _archive(
+        [[1, 1], [1, 1]],
+        weights=[[0.5, 0.5], [0.5, 0.5]],
+        capacity=np.array([75.0, 25.0]),
+    )
+    nwe = network_weight_error(archive, true_capacity=archive.true_capacity)
+    assert nwe[0] == pytest.approx(0.25)
+
+
+def test_nwe_requires_period_or_capacity():
+    archive = _archive([[1, 1]])
+    with pytest.raises(ConfigurationError):
+        network_weight_error(archive)
+
+
+def test_offline_relays_excluded():
+    presence = np.array([[True, True], [True, False]])
+    archive = _archive([[10, 10], [90, 90]], presence=presence)
+    nce = network_capacity_error(archive, period_hours=2)
+    # Hour 1: only relay 0 online and error-free.
+    assert nce[1] == pytest.approx(0.0)
+
+
+def test_relative_std_eq7():
+    assert relative_std(np.array([10.0, 10.0, 10.0])) == 0.0
+    values = np.array([5.0, 15.0])
+    assert relative_std(values) == pytest.approx(values.std() / 10.0)
+    assert np.isnan(relative_std(np.array([1.0])))
+
+
+def test_relative_std_means_constant_series():
+    series = np.full((2, 200), 42.0)
+    means = relative_std_means(series, period_hours=24)
+    assert np.allclose(means, 0.0, atol=1e-6)
+
+
+def test_relative_std_means_growing_with_variance():
+    rng = np.random.default_rng(2)
+    quiet = 100 + rng.normal(0, 1, 500)
+    noisy = 100 + rng.normal(0, 40, 500)
+    means = relative_std_means(np.stack([quiet, noisy]), period_hours=48)
+    assert means[1] > means[0] * 5
+
+
+def test_archive_shape_validation():
+    with pytest.raises(ConfigurationError):
+        MetricsArchive(
+            relays=["a"],
+            advertised=np.zeros((2, 3)),
+            weights=np.zeros((2, 3)),
+            presence=np.ones((2, 3), dtype=bool),
+        )

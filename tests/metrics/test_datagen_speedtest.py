@@ -1,0 +1,153 @@
+"""Tests for the synthetic archive generator and the §3.4 replay.
+
+Scaled-down archives (fewer relays/days than the calibrated defaults) are
+used so the suite stays fast; assertions target the paper's qualitative
+shapes rather than its exact percentages.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.analysis import (
+    network_capacity_error,
+    network_weight_error,
+    relay_capacity_error_means,
+    relay_weight_error_means,
+)
+from repro.metrics.datagen import ArchiveGenParams, generate_archive
+from repro.metrics.speedtest import SpeedTestParams, run_speed_test_experiment
+
+
+@pytest.fixture(scope="module")
+def archive():
+    return generate_archive(ArchiveGenParams(n_relays=80, n_days=120, seed=5))
+
+
+def test_archive_dimensions(archive):
+    assert archive.n_relays == 80
+    assert archive.n_hours == 120 * 24
+
+
+def test_deterministic_generation():
+    params = ArchiveGenParams(n_relays=20, n_days=10, seed=9)
+    a, b = generate_archive(params), generate_archive(params)
+    assert np.array_equal(a.advertised, b.advertised)
+    assert np.array_equal(a.weights, b.weights)
+
+
+def test_advertised_never_exceeds_capacity(archive):
+    caps = archive.true_capacity[:, None]
+    assert np.all(archive.advertised <= caps + 1e-6)
+
+
+def test_weights_normalized_each_hour(archive):
+    totals = archive.weights.sum(axis=0)
+    online_hours = archive.presence.any(axis=0)
+    assert np.allclose(totals[online_hours], 1.0, atol=1e-9)
+
+
+def test_descriptor_cadence_steps(archive):
+    """Advertised bandwidth only changes at 18-hour publications."""
+    row = archive.advertised[0]
+    present = archive.presence[0]
+    changes = np.flatnonzero(np.diff(row) != 0)
+    changes = [t for t in changes if present[t] and present[t + 1]]
+    if len(changes) >= 2:
+        gaps = np.diff(changes)
+        assert np.all(gaps % 18 == 0)
+
+
+def test_error_grows_with_period(archive):
+    """Figure 1/2's shape: day < week < month errors."""
+    day = np.nanmedian(relay_capacity_error_means(archive, 24, warmup_hours=24 * 30))
+    week = np.nanmedian(relay_capacity_error_means(archive, 168, warmup_hours=24 * 30))
+    month = np.nanmedian(relay_capacity_error_means(archive, 720, warmup_hours=24 * 30))
+    assert day < week <= month + 1e-9
+    nce_day = np.nanmedian(network_capacity_error(archive, 24)[720:])
+    nce_month = np.nanmedian(network_capacity_error(archive, 720)[720:])
+    assert nce_day < nce_month
+
+
+def test_most_relays_underweighted(archive):
+    """Figure 3's shape: most relays below their capacity share.
+
+    The paper reports >85% on the live archive; the synthetic generator
+    lands around 70-80% (documented in EXPERIMENTS.md).
+    """
+    rwe = relay_weight_error_means(archive, 720, warmup_hours=720)
+    frac_under = np.nanmean(rwe < 1.0)
+    assert frac_under > 0.62
+
+
+def test_some_relays_error_free(archive):
+    """~15% of relays (rate-limited) show zero capacity error."""
+    rce = relay_capacity_error_means(archive, 168, warmup_hours=24 * 30)
+    frac_zero = np.nanmean(rce < 0.01)
+    assert 0.03 < frac_zero < 0.5
+
+
+def test_network_weight_error_in_paper_range(archive):
+    nwe = np.nanmedian(network_weight_error(archive, 720)[720:])
+    assert 0.10 < nwe < 0.45  # paper medians: 21-30%
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        ArchiveGenParams(n_relays=1)
+    with pytest.raises(ConfigurationError):
+        ArchiveGenParams(n_days=1)
+
+
+# ---------------------------------------------------------------------------
+# §3.4 speed-test replay (Figure 5)
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def speedtest():
+    return run_speed_test_experiment(
+        SpeedTestParams(
+            base=ArchiveGenParams(n_relays=120, n_days=40, seed=6),
+        )
+    )
+
+
+def test_speedtest_discovers_hidden_capacity(speedtest):
+    """Paper: ~50% more capacity appears during the flood."""
+    assert 0.25 < speedtest.capacity_increase_fraction < 0.9
+
+
+def test_speedtest_weight_error_rises(speedtest):
+    """Paper: weight error rises during the test (+5-10%)."""
+    assert speedtest.weight_error_peak > speedtest.weight_error_before
+
+
+def test_speedtest_estimates_decay_after_memory(speedtest):
+    """Paper: capacity estimates fall back after the 5-day memory."""
+    assert speedtest.recovered
+
+
+def test_speedtest_series_lengths(speedtest):
+    assert len(speedtest.estimated_capacity) == speedtest.archive.n_hours
+    assert len(speedtest.weight_error) == speedtest.archive.n_hours
+
+
+def test_flood_only_affects_flood_window():
+    quiet = generate_archive(ArchiveGenParams(n_relays=50, n_days=20, seed=7))
+    flooded = generate_archive(
+        ArchiveGenParams(
+            n_relays=50, n_days=20, seed=7,
+            flood_start_hour=10 * 24, flood_duration_hours=51,
+        )
+    )
+    # Identical before the flood begins.
+    before = 10 * 24
+    assert np.array_equal(
+        quiet.advertised[:, :before], flooded.advertised[:, :before]
+    )
+    # Higher advertised totals during/after the flood window.
+    during = slice(10 * 24 + 19, 10 * 24 + 51 + 18)
+    assert (
+        flooded.network_advertised_total()[during].mean()
+        > quiet.network_advertised_total()[during].mean()
+    )

@@ -1,0 +1,72 @@
+"""Property tests for the van Herk / Gil-Werman trailing maximum.
+
+The §3 analysis applies year-long trailing-max windows to decade-long
+archives; the O(n) block algorithm must agree exactly with the naive
+definition, including expanding-window edges.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.analysis import _trailing_max_exact
+
+
+def _naive(values: np.ndarray, window: int) -> np.ndarray:
+    n = values.shape[-1]
+    w = min(window, n)
+    out = np.empty_like(values, dtype=float)
+    for j in range(n):
+        out[..., j] = values[..., max(0, j - w + 1): j + 1].max(axis=-1)
+    return out
+
+
+@given(
+    n=st.integers(min_value=1, max_value=120),
+    window=st.integers(min_value=1, max_value=150),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+@settings(max_examples=200, deadline=None)
+def test_matches_naive_definition(n, window, seed):
+    rng = np.random.default_rng(seed)
+    values = rng.normal(size=(3, n))
+    got = _trailing_max_exact(values, window)
+    assert np.allclose(got, _naive(values, window))
+
+
+@given(
+    n=st.integers(min_value=2, max_value=100),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+@settings(max_examples=60, deadline=None)
+def test_window_one_is_identity(n, seed):
+    rng = np.random.default_rng(seed)
+    values = rng.normal(size=(2, n))
+    assert np.array_equal(_trailing_max_exact(values, 1), values)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=80),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+@settings(max_examples=60, deadline=None)
+def test_full_window_is_running_max(n, seed):
+    rng = np.random.default_rng(seed)
+    values = rng.normal(size=(n,))
+    got = _trailing_max_exact(values[None, :], n + 50)[0]
+    assert np.allclose(got, np.maximum.accumulate(values))
+
+
+def test_result_dominates_input_and_is_window_monotone():
+    rng = np.random.default_rng(1)
+    values = rng.normal(size=(4, 200))
+    small = _trailing_max_exact(values, 5)
+    large = _trailing_max_exact(values, 50)
+    assert (small >= values - 1e-12).all()
+    assert (large >= small - 1e-12).all()
+
+
+def test_handles_negative_infinity_padding_values():
+    values = np.array([[-np.inf, 1.0, -np.inf, 2.0]])
+    got = _trailing_max_exact(values, 2)
+    assert got[0].tolist() == [-np.inf, 1.0, 1.0, 2.0]

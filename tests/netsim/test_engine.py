@@ -1,0 +1,95 @@
+"""Tests for the simulation clock."""
+
+import pytest
+
+from repro.netsim.engine import SimClock
+
+
+def test_clock_starts_at_zero():
+    assert SimClock().now == 0
+
+
+def test_clock_custom_start():
+    assert SimClock(start=100).now == 100
+
+
+def test_schedule_and_run():
+    clock = SimClock()
+    fired = []
+    clock.schedule(5, lambda: fired.append(clock.now))
+    clock.run_until(10)
+    assert fired == [5]
+    assert clock.now == 10
+
+
+def test_schedule_in_relative():
+    clock = SimClock(start=10)
+    fired = []
+    clock.schedule_in(3, lambda: fired.append(clock.now))
+    clock.advance(5)
+    assert fired == [13]
+
+
+def test_events_run_in_time_order():
+    clock = SimClock()
+    order = []
+    clock.schedule(5, lambda: order.append("b"))
+    clock.schedule(3, lambda: order.append("a"))
+    clock.schedule(7, lambda: order.append("c"))
+    clock.run_until(10)
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_break_in_insertion_order():
+    clock = SimClock()
+    order = []
+    clock.schedule(5, lambda: order.append("first"))
+    clock.schedule(5, lambda: order.append("second"))
+    clock.run_until(5)
+    assert order == ["first", "second"]
+
+
+def test_cannot_schedule_in_past():
+    clock = SimClock(start=10)
+    with pytest.raises(ValueError):
+        clock.schedule(5, lambda: None)
+
+
+def test_events_can_schedule_more_events():
+    clock = SimClock()
+    fired = []
+
+    def chain():
+        fired.append(clock.now)
+        if clock.now < 3:
+            clock.schedule_in(1, chain)
+
+    clock.schedule(1, chain)
+    clock.run_all()
+    assert fired == [1, 2, 3]
+
+
+def test_run_until_does_not_run_future_events():
+    clock = SimClock()
+    fired = []
+    clock.schedule(5, lambda: fired.append(5))
+    clock.schedule(15, lambda: fired.append(15))
+    clock.run_until(10)
+    assert fired == [5]
+    assert clock.pending() == 1
+
+
+def test_ticks_iterates_each_second():
+    clock = SimClock()
+    seen = list(clock.ticks(5))
+    assert seen == [0, 1, 2, 3, 4]
+    assert clock.now == 5
+
+
+def test_ticks_runs_scheduled_events():
+    clock = SimClock()
+    fired = []
+    clock.schedule(2, lambda: fired.append("x"))
+    for _ in clock.ticks(5):
+        pass
+    assert fired == ["x"]

@@ -1,0 +1,149 @@
+"""Tests for max-min fair allocation, including hypothesis invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.fairshare import Flow, Resource, max_min_fair, total_on_resource
+
+
+def test_single_flow_gets_resource_capacity():
+    r = Resource("link", 100.0)
+    rates = max_min_fair([Flow("f", [r])])
+    assert rates["f"] == pytest.approx(100.0)
+
+
+def test_two_flows_split_equally():
+    r = Resource("link", 100.0)
+    rates = max_min_fair([Flow("a", [r]), Flow("b", [r])])
+    assert rates["a"] == pytest.approx(50.0)
+    assert rates["b"] == pytest.approx(50.0)
+
+
+def test_cap_limited_flow_frees_capacity():
+    r = Resource("link", 100.0)
+    rates = max_min_fair([Flow("small", [r], cap=10.0), Flow("big", [r])])
+    assert rates["small"] == pytest.approx(10.0)
+    assert rates["big"] == pytest.approx(90.0)
+
+
+def test_classic_three_link_example():
+    # Textbook max-min: flows over a chain of links.
+    l1, l2 = Resource("l1", 10.0), Resource("l2", 8.0)
+    flows = [
+        Flow("through", [l1, l2]),
+        Flow("only1", [l1]),
+        Flow("only2", [l2]),
+    ]
+    rates = max_min_fair(flows)
+    assert rates["through"] == pytest.approx(4.0)
+    assert rates["only2"] == pytest.approx(4.0)
+    assert rates["only1"] == pytest.approx(6.0)
+
+
+def test_multiplicity_consumes_double():
+    r = Resource("cpu", 100.0)
+    rates = max_min_fair([Flow("echo", [r, r])])
+    assert rates["echo"] == pytest.approx(50.0)
+
+
+def test_zero_capacity_resource_starves_flow():
+    dead = Resource("dead", 0.0)
+    live = Resource("live", 100.0)
+    rates = max_min_fair([Flow("f", [dead, live]), Flow("g", [live])])
+    assert rates["f"] == 0.0
+    assert rates["g"] == pytest.approx(100.0)
+
+
+def test_zero_cap_flow_gets_nothing():
+    r = Resource("link", 100.0)
+    rates = max_min_fair([Flow("z", [r], cap=0.0), Flow("f", [r])])
+    assert rates["z"] == 0.0
+    assert rates["f"] == pytest.approx(100.0)
+
+
+def test_uncapped_flow_on_infinite_resource():
+    r = Resource("inf", math.inf)
+    rates = max_min_fair([Flow("f", [r])])
+    assert math.isinf(rates["f"])
+
+
+def test_empty_flow_list():
+    assert max_min_fair([]) == {}
+
+
+def test_conflicting_resource_capacities_rejected():
+    with pytest.raises(ValueError):
+        max_min_fair(
+            [
+                Flow("a", [Resource("x", 10.0)]),
+                Flow("b", [Resource("x", 20.0)]),
+            ]
+        )
+
+
+# ---------------------------------------------------------------------------
+# Property-based invariants
+# ---------------------------------------------------------------------------
+
+@st.composite
+def _scenario(draw):
+    n_resources = draw(st.integers(min_value=1, max_value=5))
+    resources = [
+        Resource(f"r{i}", draw(st.floats(min_value=1.0, max_value=1000.0)))
+        for i in range(n_resources)
+    ]
+    n_flows = draw(st.integers(min_value=1, max_value=8))
+    flows = []
+    for i in range(n_flows):
+        k = draw(st.integers(min_value=1, max_value=n_resources))
+        picked = draw(
+            st.lists(
+                st.sampled_from(resources), min_size=k, max_size=k, unique_by=id
+            )
+        )
+        cap = draw(
+            st.one_of(
+                st.just(math.inf),
+                st.floats(min_value=0.5, max_value=2000.0),
+            )
+        )
+        flows.append(Flow(f"f{i}", picked, cap=cap))
+    return flows
+
+
+@given(_scenario())
+@settings(max_examples=150, deadline=None)
+def test_feasibility_invariant(flows):
+    """No resource over-subscribed, no flow above its cap."""
+    rates = max_min_fair(flows)
+    for flow in flows:
+        assert rates[flow.fid] <= flow.cap + 1e-6
+    resource_ids = {r.rid: r for f in flows for r in f.resources}
+    for rid, resource in resource_ids.items():
+        if math.isinf(resource.capacity):
+            continue
+        assert total_on_resource(flows, rates, rid) <= resource.capacity + 1e-5
+
+
+@given(_scenario())
+@settings(max_examples=150, deadline=None)
+def test_unimprovability_invariant(flows):
+    """Every flow is at its cap or crosses a saturated resource."""
+    rates = max_min_fair(flows)
+    resource_ids = {r.rid: r for f in flows for r in f.resources}
+    for flow in flows:
+        rate = rates[flow.fid]
+        if math.isinf(rate):
+            continue
+        if rate >= flow.cap - 1e-6:
+            continue
+        saturated = any(
+            not math.isinf(resource_ids[rid].capacity)
+            and total_on_resource(flows, rates, rid)
+            >= resource_ids[rid].capacity - 1e-4
+            for rid in flow._multiplicity
+        )
+        assert saturated, f"flow {flow.fid} below cap with slack everywhere"

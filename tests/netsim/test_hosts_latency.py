@@ -1,0 +1,109 @@
+"""Tests for hosts, kernel configs, and the path model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.netsim.hosts import Host, make_paper_hosts
+from repro.netsim.latency import (
+    LAB_LOSS,
+    NetworkModel,
+    internet_loss_for_rtt,
+)
+from repro.netsim.socketbuf import KernelConfig
+from repro.units import MIB, gbit
+
+
+def test_paper_hosts_inventory():
+    hosts = make_paper_hosts()
+    assert set(hosts) == {"US-SW", "US-NW", "US-E", "IN", "NL"}
+    # Table 1 facts.
+    assert hosts["US-E"].network_type == "residential"
+    assert not hosts["US-SW"].virtual
+    assert hosts["US-NW"].virtual
+    assert hosts["IN"].cpu_cores == 2
+    assert hosts["NL"].link_capacity == pytest.approx(gbit(1.611))
+
+
+def test_virtual_hosts_get_more_jitter():
+    hosts = make_paper_hosts()
+    assert hosts["IN"].jitter > hosts["US-E"].jitter
+
+
+def test_host_requires_positive_capacity():
+    with pytest.raises(ValueError):
+        Host("bad", link_capacity=0)
+
+
+def test_host_equality_by_name():
+    a = Host("x", link_capacity=1e9)
+    b = Host("x", link_capacity=2e9)
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+def test_with_kernel_returns_copy():
+    host = Host("x", link_capacity=1e9)
+    tuned = host.with_kernel(KernelConfig.tuned())
+    assert tuned.kernel.name == "tuned"
+    assert host.kernel.name == "default"
+
+
+def test_default_kernel_buffer_sizes():
+    kernel = KernelConfig.default()
+    assert kernel.read_buf_max == 4 * MIB
+    assert kernel.write_buf_max == 6 * MIB
+
+
+def test_tuned_kernel_buffer_sizes():
+    kernel = KernelConfig.tuned()
+    assert kernel.read_buf_max == kernel.write_buf_max == 64 * MIB
+
+
+def test_window_limit_is_min_of_directions():
+    a, b = KernelConfig.default(), KernelConfig.tuned()
+    assert a.window_limit_bytes(b) == 6 * MIB  # a's write buffer binds
+    assert b.window_limit_bytes(a) == 4 * MIB  # a's read buffer binds
+
+
+def test_paper_internet_rtts():
+    model = NetworkModel.paper_internet()
+    assert model.path("US-SW", "IN").rtt_seconds == pytest.approx(0.210)
+    assert model.path("US-SW", "US-E").rtt_seconds == pytest.approx(0.062)
+    # Symmetric.
+    assert model.path("IN", "US-SW").rtt_seconds == pytest.approx(0.210)
+
+
+def test_loss_grows_with_rtt():
+    assert internet_loss_for_rtt(0.3) > internet_loss_for_rtt(0.03)
+
+
+def test_lab_pair_is_nearly_lossless():
+    model = NetworkModel.lab_pair()
+    path = model.path("lab-target", "lab-client")
+    assert path.loss == pytest.approx(LAB_LOSS)
+    assert path.rtt_seconds == pytest.approx(0.00013)
+
+
+def test_set_rtt_override():
+    model = NetworkModel.lab_pair()
+    model.set_rtt("lab-target", "lab-client", 0.120, loss=1e-8)
+    assert model.path("lab-target", "lab-client").rtt_seconds == 0.120
+    assert model.path("lab-target", "lab-client").loss == 1e-8
+
+
+def test_unknown_path_raises():
+    model = NetworkModel.paper_internet()
+    with pytest.raises(ConfigurationError):
+        model.path("US-SW", "MOON")
+
+
+def test_self_path_near_zero_rtt():
+    model = NetworkModel.paper_internet()
+    assert model.path("US-SW", "US-SW").rtt_seconds < 0.001
+
+
+def test_path_quality_in_bounds():
+    model = NetworkModel.paper_internet(seed=5)
+    for _ in range(200):
+        q = model.sample_path_quality()
+        assert model.quality_min <= q <= 1.0

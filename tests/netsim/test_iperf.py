@@ -1,0 +1,67 @@
+"""Tests for the iPerf model against the paper's Tables 1 and 3."""
+
+import pytest
+
+from repro.netsim.iperf import iperf_many_to_one, iperf_pair
+from repro.netsim.latency import NetworkModel
+from repro.units import mbit
+
+
+@pytest.fixture(scope="module")
+def model():
+    return NetworkModel.paper_internet(seed=3)
+
+
+def test_many_to_one_saturates_us_hosts(model):
+    """Table 1/3: all three US hosts measure close to ~1 Gbit/s."""
+    for host, expected in (("US-SW", 954), ("US-NW", 946), ("US-E", 941)):
+        result = iperf_many_to_one(model, host, duration=30, seed=1)
+        assert result.mbit == pytest.approx(expected, rel=0.08)
+
+
+def test_many_to_one_nl_exceeds_gigabit(model):
+    """Table 3: NL's NIC is faster than 1 Gbit/s when saturated."""
+    result = iperf_many_to_one(model, "NL", duration=30, seed=2)
+    assert result.mbit > 1000
+
+
+def test_udp_pair_beats_tcp_pair(model):
+    """Appendix B: UDP iPerf exceeds TCP iPerf on every pair."""
+    for peer in ("US-NW", "US-E", "IN", "NL"):
+        udp = iperf_pair(model, "US-SW", peer, mode="udp", duration=20, seed=4)
+        tcp = iperf_pair(model, "US-SW", peer, mode="tcp", duration=20, seed=4)
+        assert udp.median_bits_per_sec > tcp.median_bits_per_sec, peer
+
+
+def test_tcp_pair_slower_on_high_rtt_path(model):
+    near = iperf_pair(model, "US-SW", "US-E", mode="tcp", duration=20, seed=5)
+    far = iperf_pair(model, "US-SW", "IN", mode="tcp", duration=20, seed=5)
+    assert near.median_bits_per_sec > far.median_bits_per_sec
+
+
+def test_udp_pair_bounded_by_slower_link(model):
+    result = iperf_pair(model, "US-SW", "NL", mode="udp", duration=20, seed=6)
+    # US-SW's ~954 Mbit/s link binds, not NL's 1.6 Gbit/s.
+    assert result.median_bits_per_sec < mbit(1050)
+    assert result.median_bits_per_sec > mbit(700)
+
+
+def test_result_has_per_second_series(model):
+    result = iperf_pair(model, "US-SW", "US-E", duration=15, seed=7)
+    assert len(result.per_second) == 15
+
+
+def test_invalid_mode_rejected(model):
+    with pytest.raises(ValueError):
+        iperf_pair(model, "US-SW", "US-E", mode="sctp")
+
+
+def test_target_cannot_be_source(model):
+    with pytest.raises(ValueError):
+        iperf_many_to_one(model, "US-SW", sources=["US-SW", "NL"])
+
+
+def test_deterministic_given_seed(model):
+    a = iperf_many_to_one(model, "US-E", duration=10, seed=42)
+    b = iperf_many_to_one(model, "US-E", duration=10, seed=42)
+    assert a.median_bits_per_sec == b.median_bits_per_sec

@@ -1,0 +1,127 @@
+"""Tests for the fluid TCP model (paper Appendices D/E.1 behaviours)."""
+
+import math
+
+import pytest
+
+from repro.netsim.latency import Path
+from repro.netsim.socketbuf import KernelConfig
+from repro.netsim.tcp import (
+    TcpConnection,
+    mathis_rate_cap,
+    slow_start_rate_cap,
+    tcp_rate_cap,
+)
+from repro.units import MIB, mbit
+
+
+def _path(rtt_ms: float, loss: float = 0.0) -> Path:
+    return Path("a", "b", rtt_seconds=rtt_ms / 1000.0, loss=loss)
+
+
+def test_window_cap_binds_default_kernel_high_rtt():
+    """Default 4 MiB buffers at 120 ms cap ~280 Mbit/s (paper Fig 12)."""
+    rate = tcp_rate_cap(
+        _path(120, loss=1e-9), KernelConfig.default(), KernelConfig.default()
+    )
+    expected = 4 * MIB * 8 / 0.120
+    assert rate == pytest.approx(expected, rel=0.01)
+    assert rate < mbit(300)
+
+
+def test_tuned_kernel_lifts_window_cap():
+    default = tcp_rate_cap(
+        _path(120, loss=1e-8), KernelConfig.default(), KernelConfig.default()
+    )
+    tuned = tcp_rate_cap(
+        _path(120, loss=1e-8), KernelConfig.tuned(), KernelConfig.tuned()
+    )
+    assert tuned > default * 3
+
+
+def test_window_uses_min_of_send_and_receive_buffers():
+    mixed = tcp_rate_cap(
+        _path(100, loss=1e-9), KernelConfig.tuned(), KernelConfig.default()
+    )
+    both_default = tcp_rate_cap(
+        _path(100, loss=1e-9), KernelConfig.default(), KernelConfig.default()
+    )
+    # Receiver's 4 MiB read buffer binds either way.
+    assert mixed == pytest.approx(both_default, rel=0.01)
+
+
+def test_mathis_decreases_with_rtt():
+    low = mathis_rate_cap(_path(30, loss=1e-4))
+    high = mathis_rate_cap(_path(300, loss=1e-4))
+    assert low > high
+
+
+def test_mathis_decreases_with_loss():
+    clean = mathis_rate_cap(_path(100, loss=1e-6))
+    lossy = mathis_rate_cap(_path(100, loss=1e-3))
+    assert clean > lossy
+
+
+def test_mathis_infinite_when_lossless():
+    assert math.isinf(mathis_rate_cap(_path(100, loss=0.0)))
+
+
+def test_slow_start_ramps_with_age():
+    path = _path(100)
+    young = slow_start_rate_cap(path, age_seconds=0.05)
+    old = slow_start_rate_cap(path, age_seconds=2.0)
+    assert young < old
+
+
+def test_slow_start_gone_after_seconds_at_low_rtt():
+    """With sub-second RTTs full speed is reached almost immediately."""
+    path = _path(30)
+    assert slow_start_rate_cap(path, age_seconds=1.0) > mbit(1000)
+
+
+def test_app_limit_binds():
+    rate = tcp_rate_cap(
+        _path(30, loss=1e-9),
+        KernelConfig.tuned(),
+        KernelConfig.tuned(),
+        app_limit=mbit(50),
+    )
+    assert rate == pytest.approx(mbit(50))
+
+
+def test_connection_quality_scales_rate():
+    path = _path(100, loss=1e-5)
+    full = TcpConnection(path, KernelConfig.default(), KernelConfig.default())
+    degraded = TcpConnection(
+        path, KernelConfig.default(), KernelConfig.default(), quality=0.5
+    )
+    full.age_seconds = degraded.age_seconds = 60.0
+    assert degraded.rate_cap() == pytest.approx(full.rate_cap() * 0.5)
+
+
+def test_connection_tick_advances_age():
+    conn = TcpConnection(
+        _path(100), KernelConfig.default(), KernelConfig.default()
+    )
+    conn.tick()
+    conn.tick(2.5)
+    assert conn.age_seconds == pytest.approx(3.5)
+
+
+def test_paper_fig12_ordering():
+    """Figure 12: tuned beats default at every RTT; throughput falls as
+    RTT grows within a kernel config."""
+    results = {}
+    for rtt in (28, 120, 340):
+        for kernel in (KernelConfig.default(), KernelConfig.tuned()):
+            results[(rtt, kernel.name)] = tcp_rate_cap(
+                _path(rtt, loss=1e-8), kernel, kernel
+            )
+    for rtt in (28, 120, 340):
+        assert results[(rtt, "tuned")] >= results[(rtt, "default")]
+    assert (
+        results[(28, "default")]
+        > results[(120, "default")]
+        > results[(340, "default")]
+    )
+    assert results[(120, "tuned")] > results[(340, "tuned")]

@@ -1,0 +1,272 @@
+"""Tests for the flow-level simulator and its components."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.shadow.benchclient import BenchmarkClient
+from repro.shadow.config import ShadowConfig, build_network
+from repro.shadow.simulator import NetworkSimulator, waterfill
+from repro.shadow.trafficgen import MarkovLoadGenerator
+from repro.tornet.consensus import Consensus, RouterStatus
+from repro.tornet.pathsel import PathSelector
+from repro.units import mbit
+
+
+# ---------------------------------------------------------------------------
+# Vectorised waterfilling
+# ---------------------------------------------------------------------------
+
+def test_waterfill_single_flow():
+    rates = waterfill(
+        np.array([[0, 1, 2]]), np.array([np.inf]), np.array([10.0, 5.0, 20.0])
+    )
+    assert rates[0] == pytest.approx(5.0)  # tightest relay binds
+
+
+def test_waterfill_cap_limited():
+    rates = waterfill(
+        np.array([[0, 1, 2]]), np.array([2.0]), np.array([10.0, 10.0, 10.0])
+    )
+    assert rates[0] == pytest.approx(2.0)
+
+
+def test_waterfill_sharing():
+    paths = np.array([[0, 1, 2], [0, 1, 2]])
+    rates = waterfill(paths, np.array([np.inf, np.inf]),
+                      np.array([10.0, 100.0, 100.0]))
+    assert rates[0] == pytest.approx(5.0)
+    assert rates[1] == pytest.approx(5.0)
+
+
+def test_waterfill_freed_capacity_reused():
+    paths = np.array([[0, 1, 2], [0, 3, 4]])
+    caps = np.array([1.0, np.inf])
+    capacity = np.array([10.0, 100.0, 100.0, 100.0, 100.0])
+    rates = waterfill(paths, caps, capacity)
+    assert rates[0] == pytest.approx(1.0)
+    assert rates[1] == pytest.approx(9.0)
+
+
+def test_waterfill_empty():
+    rates = waterfill(
+        np.zeros((0, 3), dtype=np.int64), np.zeros(0), np.array([1.0])
+    )
+    assert rates.shape == (0,)
+
+
+@given(
+    n_relays=st.integers(min_value=3, max_value=12),
+    n_flows=st.integers(min_value=1, max_value=40),
+    seed=st.integers(min_value=0, max_value=999),
+)
+@settings(max_examples=60, deadline=None)
+def test_waterfill_maxmin_properties(n_relays, n_flows, seed):
+    """Feasibility and unimprovability of the vectorised allocator."""
+    rng = np.random.default_rng(seed)
+    capacity = rng.uniform(1.0, 100.0, n_relays)
+    paths = np.stack(
+        [rng.choice(n_relays, size=3, replace=False) for _ in range(n_flows)]
+    )
+    caps = rng.uniform(0.5, 150.0, n_flows)
+    rates = waterfill(paths, caps, capacity)
+
+    load = np.bincount(
+        paths.ravel(), weights=np.repeat(rates, 3), minlength=n_relays
+    )
+    assert np.all(load <= capacity + 1e-5)
+    assert np.all(rates <= caps + 1e-7)
+    saturated = load >= capacity - 1e-4
+    for i in range(n_flows):
+        if rates[i] < caps[i] - 1e-6:
+            assert saturated[paths[i]].any(), "below cap with slack relays"
+
+
+# ---------------------------------------------------------------------------
+# Traffic generator
+# ---------------------------------------------------------------------------
+
+def _selector(n=12, seed=0):
+    consensus = Consensus(valid_after=0)
+    flags = frozenset({"Guard", "Exit", "Running"})
+    for i in range(n):
+        consensus.add(RouterStatus(f"r{i}", 1.0 + i, flags))
+    return PathSelector(consensus, seed=seed)
+
+
+def test_markov_generator_mean_demand():
+    gen = MarkovLoadGenerator(
+        "m", base_demand=mbit(10), selector=_selector(),
+        rtt_sampler=lambda rng: 0.3, seed=1,
+    )
+    totals = []
+    for t in range(3000):
+        totals.append(sum(d for _, d in gen.demands(t)))
+    mean = sum(totals) / len(totals)
+    assert mean == pytest.approx(mbit(10), rel=0.30)
+
+
+def test_markov_generator_rotates_circuits():
+    gen = MarkovLoadGenerator(
+        "m", base_demand=mbit(10), selector=_selector(),
+        rtt_sampler=lambda rng: 0.3, circuit_lifetime=10, seed=2,
+    )
+    gen.refresh_circuits(0)
+    assert all(c.built_at == 0 for c in gen.circuits)
+    gen.refresh_circuits(50)  # lifetime 10: everything expired
+    assert all(c.built_at == 50 for c in gen.circuits)
+
+
+def test_markov_demand_autocorrelated():
+    gen = MarkovLoadGenerator(
+        "m", base_demand=mbit(10), selector=_selector(),
+        rtt_sampler=lambda rng: 0.3, circuit_lifetime=10_000, seed=3,
+    )
+    series = [sum(d for _, d in gen.demands(t)) for t in range(2000)]
+    x = np.array(series)
+    lag1 = np.corrcoef(x[:-1], x[1:])[0, 1]
+    assert lag1 > 0.5  # session-scale correlation
+
+
+# ---------------------------------------------------------------------------
+# Benchmark clients
+# ---------------------------------------------------------------------------
+
+def _client(seed=0, pause=5):
+    return BenchmarkClient(
+        "b", selector=_selector(), rtt_sampler=lambda rng: 0.3,
+        sizes=(50 * 1024, 1024 * 1024), timeouts=(15, 60),
+        pause_seconds=pause, seed=seed,
+    )
+
+
+def test_benchmark_transfer_completes():
+    client = _client(seed=1)
+    now = 0
+    while client.maybe_start(now) is None:
+        now += 1
+    for _ in range(30):
+        client.advance(now, mbit(1))
+        now += 1
+        if client.records:
+            break
+    assert client.records
+    record = client.records[0]
+    assert not record.timed_out
+    assert record.ttfb is not None and record.ttlb is not None
+    assert record.ttfb <= record.ttlb
+
+
+def test_benchmark_transfer_times_out():
+    client = _client(seed=2)
+    now = 0
+    while client.maybe_start(now) is None:
+        now += 1
+    for _ in range(100):
+        client.advance(now, 10.0)  # 10 bit/s: hopeless
+        now += 1
+        if client.records:
+            break
+    assert client.records[0].timed_out
+    assert client.error_rate() == 1.0
+
+
+def test_benchmark_cycles_sizes():
+    client = _client(seed=3, pause=0)
+    sizes = []
+    now = 0
+    for _ in range(400):
+        client.maybe_start(now)
+        if client.active and not sizes or (
+            client.active and client.active.record.size != (sizes[-1] if sizes else None)
+        ):
+            pass
+        client.advance(now, mbit(100))
+        now += 1
+    sizes = [r.size for r in client.records]
+    assert 50 * 1024 in sizes and 1024 * 1024 in sizes
+
+
+def test_benchmark_ttlb_reflects_rate():
+    fast, slow = _client(seed=4), _client(seed=4)
+    for client, rate in ((fast, mbit(50)), (slow, mbit(2))):
+        now = 0
+        while not client.records:
+            client.maybe_start(now)
+            client.advance(now, rate)
+            now += 1
+    assert fast.records[0].ttlb < slow.records[0].ttlb
+
+
+# ---------------------------------------------------------------------------
+# End-to-end simulator
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def tiny_network():
+    return build_network(
+        ShadowConfig(
+            n_relays=40, n_markov_clients=30, n_benchmark_clients=6,
+            sim_seconds=120, warmup_seconds=30, seed=7,
+        )
+    )
+
+
+def test_simulator_run_produces_metrics(tiny_network):
+    weights = tiny_network.relays.capacities()
+    sim = NetworkSimulator(tiny_network, seed=8)
+    metrics = sim.run(weights)
+    assert len(metrics.throughput_series) == 120
+    assert metrics.transfers_completed() > 0
+    assert set(metrics.relay_utilization) == set(tiny_network.relays.relays)
+    assert all(0 <= u <= 1 for u in metrics.relay_utilization.values())
+
+
+def test_simulator_throughput_scales_with_load(tiny_network):
+    """In the unsaturated regime, carried traffic tracks offered load.
+
+    (Near saturation scaling is sublinear -- the paper's own Figure 9c
+    shows +18-29% throughput for +30% load.)
+    """
+    weights = tiny_network.relays.capacities()
+    low_cfg = ShadowConfig(
+        **{**tiny_network.config.__dict__, "load_multiplier": 0.4}
+    )
+    high_cfg = ShadowConfig(
+        **{**tiny_network.config.__dict__, "load_multiplier": 0.8}
+    )
+    from repro.shadow.config import ShadowNetwork
+
+    low = NetworkSimulator(
+        ShadowNetwork(config=low_cfg, relays=tiny_network.relays), seed=9
+    ).run(weights)
+    high = NetworkSimulator(
+        ShadowNetwork(config=high_cfg, relays=tiny_network.relays), seed=9
+    ).run(weights)
+    assert high.median_throughput() > low.median_throughput() * 1.4
+
+
+def test_simulator_deterministic(tiny_network):
+    weights = tiny_network.relays.capacities()
+    a = NetworkSimulator(tiny_network, seed=10).run(weights)
+    b = NetworkSimulator(tiny_network, seed=10).run(weights)
+    assert a.throughput_series == b.throughput_series
+    assert a.error_rates() == b.error_rates()
+
+
+def test_build_network_relay_count():
+    network = build_network(
+        ShadowConfig(n_relays=50, sim_seconds=10, warmup_seconds=0)
+    )
+    assert len(network.relays) == 50
+
+
+def test_circuit_rtt_sampler_range(tiny_network):
+    import random
+
+    rng = random.Random(11)
+    for _ in range(100):
+        rtt = tiny_network.sample_circuit_rtt(rng)
+        lo, hi = tiny_network.hop_rtt_range
+        assert 4 * lo <= rtt <= 4 * hi

@@ -1,0 +1,136 @@
+"""Cross-module integration tests: the full FlashFlow lifecycle.
+
+These exercise the public API the way a deployment would: measure the
+measurers, derive a shared schedule, run a period's campaign, publish a
+bandwidth file, aggregate across BWAuths into a consensus, and have
+clients select paths from it -- with failure injection along the way.
+"""
+
+import pytest
+
+from repro import quick_team
+from repro.attacks.relays import ForgingRelayBehavior, RatioCheatingRelayBehavior
+from repro.core.aggregation import aggregate_bwauth_votes, consensus_from_votes
+from repro.core.bwfile import BandwidthFile
+from repro.core.netmeasure import measure_network
+from repro.core.params import FlashFlowParams
+from repro.core.schedule import PeriodSchedule
+from repro.tornet.authority import SharedRandomness
+from repro.tornet.network import TorNetwork, synthesize_network
+from repro.tornet.pathsel import PathSelector
+from repro.tornet.relay import Relay
+from repro.units import gbit, mbit
+
+
+def test_full_lifecycle_single_bwauth():
+    """Network -> campaign -> bandwidth file -> parse -> weights."""
+    network = synthesize_network(n_relays=25, seed=31)
+    auth = quick_team(seed=31)
+    campaign = measure_network(network, auth, full_simulation=True)
+    assert not campaign.failures
+
+    bwfile = BandwidthFile.from_estimates(campaign.estimates, timestamp=1000)
+    parsed = BandwidthFile.parse(bwfile.serialize())
+    assert len(parsed) == len(network)
+    for fp, capacity in parsed.capacities().items():
+        truth = network[fp].true_capacity
+        assert 0.6 * truth <= capacity <= 1.1 * truth
+
+
+def test_full_lifecycle_multi_bwauth_consensus():
+    """Three BWAuths measure independently; DirAuths take the median;
+    clients build paths from the resulting consensus."""
+    network = synthesize_network(n_relays=20, seed=32)
+    votes = {}
+    for index in range(3):
+        auth = quick_team(seed=40 + index)
+        campaign = measure_network(network, auth, full_simulation=True)
+        votes[auth.name + str(index)] = campaign.estimates
+
+    aggregated = aggregate_bwauth_votes(votes)
+    assert set(aggregated) == set(network.relays)
+
+    flags = {fp: network[fp].flags for fp in network.relays}
+    consensus = consensus_from_votes(votes, valid_after=7, flags=flags)
+    selector = PathSelector(consensus, seed=33)
+    path = selector.select_path()
+    assert len(set(path)) == 3
+    for fp in path:
+        assert fp in network
+
+
+def test_campaign_with_malicious_minority():
+    """A forging relay fails verification; a ratio-cheater is bounded;
+    honest relays are unaffected."""
+    network = TorNetwork()
+    for i in range(8):
+        network.add(Relay.with_capacity(f"honest{i}", mbit(100), seed=50 + i))
+    network.add(
+        Relay.with_capacity(
+            "forger", mbit(100), behavior=ForgingRelayBehavior(seed=1), seed=60
+        )
+    )
+    network.add(
+        Relay.with_capacity(
+            "cheater", mbit(100),
+            behavior=RatioCheatingRelayBehavior(), seed=61,
+        )
+    )
+    auth = quick_team(seed=62)
+    campaign = measure_network(network, auth, full_simulation=True)
+
+    assert "forger" in campaign.failures
+    assert "forger" not in campaign.estimates
+    assert campaign.estimates["cheater"] <= mbit(100) * 1.33 * 1.08
+    for i in range(8):
+        estimate = campaign.estimates[f"honest{i}"]
+        assert 0.75 * mbit(100) <= estimate <= 1.06 * mbit(100)
+
+
+def test_schedule_feeds_campaign():
+    """Derive a schedule from shared randomness and verify it covers the
+    same relays a campaign would measure."""
+    params = FlashFlowParams()
+    network = synthesize_network(n_relays=30, seed=34)
+    seed = SharedRandomness.run_round(["d1", "d2", "d3"], seed=35)
+    estimates = network.capacities()
+    schedule = PeriodSchedule.build(params, gbit(3), estimates, seed=seed)
+    assert set(schedule.assignments) == set(network.relays)
+    # Every scheduled slot fits within the period.
+    for assignment in schedule.assignments.values():
+        assert 0 <= assignment.slot < params.slots_per_period
+
+
+def test_warm_campaign_uses_prior_estimates():
+    """Period 2 reuses period 1's estimates and stays accurate."""
+    network = synthesize_network(n_relays=15, seed=36)
+    auth1 = quick_team(seed=37)
+    period1 = measure_network(network, auth1, full_simulation=True)
+    auth2 = quick_team(seed=38)
+    period2 = measure_network(
+        network, auth2,
+        prior_estimates=dict(period1.estimates),
+        full_simulation=True,
+    )
+    assert not period2.failures
+    for fp in network.relays:
+        truth = network[fp].true_capacity
+        assert period2.estimates[fp] == pytest.approx(truth, rel=0.3)
+
+
+def test_measurement_with_heavy_background_still_accurate(team_auth, params):
+    """A relay at 50% background utilisation measures accurately because
+    reported (clamped) background folds into z (paper Fig 7 discussion)."""
+    capacity = mbit(200)
+    relay = Relay.with_capacity("busy", capacity, seed=39)
+    estimate = team_auth.measure_relay(
+        relay, initial_estimate=capacity, background_demand=capacity * 0.5
+    )
+    lo, hi = params.accuracy_interval(capacity)
+    assert lo <= estimate.capacity <= hi
+
+
+def test_quick_team_shape():
+    auth = quick_team(n_measurers=4, capacity_each=mbit(500))
+    assert len(auth.team) == 4
+    assert auth.team_capacity() == pytest.approx(gbit(2))

@@ -1,0 +1,35 @@
+"""Tests for deterministic randomness derivation."""
+
+from repro.rng import fork, fork_numpy, seed_from
+
+
+def test_seed_from_is_deterministic():
+    assert seed_from(42, "label") == seed_from(42, "label")
+
+
+def test_seed_from_differs_by_label():
+    assert seed_from(42, "a") != seed_from(42, "b")
+
+
+def test_seed_from_differs_by_parent():
+    assert seed_from(1, "a") != seed_from(2, "a")
+
+
+def test_fork_reproducible_streams():
+    a, b = fork(7, "x"), fork(7, "x")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_fork_independent_streams():
+    a, b = fork(7, "x"), fork(7, "y")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_fork_numpy_reproducible():
+    a, b = fork_numpy(7, "x"), fork_numpy(7, "x")
+    assert (a.random(5) == b.random(5)).all()
+
+
+def test_fork_numpy_independent():
+    a, b = fork_numpy(7, "x"), fork_numpy(7, "y")
+    assert not (a.random(5) == b.random(5)).all()

@@ -1,0 +1,64 @@
+"""Tests for unit conversions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+def test_cell_length_is_tor_cell():
+    assert units.CELL_LEN == 514
+
+
+def test_mbit_round_trip():
+    assert units.to_mbit(units.mbit(250)) == pytest.approx(250)
+
+
+def test_gbit_round_trip():
+    assert units.to_gbit(units.gbit(1.5)) == pytest.approx(1.5)
+
+
+def test_mbit_is_si():
+    assert units.mbit(1) == 1_000_000
+
+
+def test_bytes_bits_round_trip():
+    assert units.bits_to_bytes(units.bytes_to_bits(12345)) == 12345
+
+
+def test_rate_conversion():
+    assert units.rate_bytes_per_sec(units.mbit(8)) == 1_000_000
+
+
+def test_cells_for_bytes_exact_boundary():
+    assert units.cells_for_bytes(units.CELL_LEN) == 1
+    assert units.cells_for_bytes(units.CELL_LEN + 1) == 2
+
+
+def test_cells_for_bytes_zero_and_negative():
+    assert units.cells_for_bytes(0) == 0
+    assert units.cells_for_bytes(-5) == 0
+
+
+def test_bdp_bytes_known_value():
+    # 1 Gbit/s at 100 ms: 12.5 MB in flight.
+    assert units.bdp_bytes(1e9, 0.1) == pytest.approx(12.5e6)
+
+
+def test_time_constants():
+    assert units.DAY == 86400
+    assert units.WEEK == 7 * units.DAY
+    assert units.HOUR == 3600
+
+
+@given(st.floats(min_value=0, max_value=1e15, allow_nan=False))
+def test_bit_byte_inverse_property(n):
+    assert units.bytes_to_bits(units.bits_to_bytes(n)) == pytest.approx(n)
+
+
+@given(st.integers(min_value=1, max_value=10**9))
+def test_cells_cover_bytes(n):
+    cells = units.cells_for_bytes(n)
+    assert cells * units.CELL_LEN >= n
+    assert (cells - 1) * units.CELL_LEN < n

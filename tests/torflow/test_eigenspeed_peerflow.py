@@ -1,0 +1,161 @@
+"""Tests for the EigenSpeed and PeerFlow baselines (paper §8 / Table 2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.torflow.comparison import (
+    PAPER_TABLE2,
+    comparison_table,
+    format_table,
+)
+from repro.torflow.eigenspeed import EigenSpeed, eigenspeed_liar_attack
+from repro.torflow.peerflow import PeerFlow, peerflow_inflation_attack
+from repro.units import mbit
+
+
+def _capacities(n=40, seed=0):
+    import random
+
+    rng = random.Random(seed)
+    return {f"r{i}": mbit(rng.uniform(5, 500)) for i in range(n)}
+
+
+# ---------------------------------------------------------------------------
+# EigenSpeed
+# ---------------------------------------------------------------------------
+
+def test_eigenspeed_honest_weights_track_capacity():
+    caps = _capacities(seed=1)
+    system = EigenSpeed()
+    relays, matrix = system.observation_matrix(caps, seed=2)
+    weights = system.compute_weights(relays, matrix)
+    ordered_by_cap = sorted(caps, key=caps.get)
+    ordered_by_weight = sorted(weights, key=weights.get)
+    # Rank correlation: top/bottom deciles agree.
+    assert set(ordered_by_cap[-4:]) & set(ordered_by_weight[-8:])
+    assert set(ordered_by_cap[:4]) & set(ordered_by_weight[:8])
+
+
+def test_eigenspeed_observation_matrix_symmetric_zero_diag():
+    caps = _capacities(n=10, seed=3)
+    _, matrix = EigenSpeed().observation_matrix(caps, seed=4)
+    assert np.allclose(matrix, matrix.T)
+    assert np.all(np.diag(matrix) == 0)
+
+
+def test_eigenspeed_matrix_shape_checked():
+    with pytest.raises(ConfigurationError):
+        EigenSpeed().compute_weights(["a", "b"], np.zeros((3, 3)))
+
+
+def test_eigenspeed_liar_attack_inflates():
+    """Colluders inflate their weight share well beyond capacity share
+    (paper Table 2: 21.5x; [25] reports 7.4-28.1x)."""
+    caps = _capacities(n=50, seed=5)
+    malicious = [f"r{i}" for i in range(3)]  # small colluding set
+    trusted = [f"r{i}" for i in range(40, 50)]
+    result = eigenspeed_liar_attack(
+        caps, malicious, trusted=trusted, seed=6
+    )
+    assert result["inflation_factor"] > 3.0
+    assert result["attacked_share"] > result["honest_share"]
+
+
+def test_eigenspeed_empty_network():
+    assert EigenSpeed().compute_weights([], np.zeros((0, 0))) == {}
+
+
+# ---------------------------------------------------------------------------
+# PeerFlow
+# ---------------------------------------------------------------------------
+
+def test_peerflow_honest_weights_track_capacity():
+    caps = _capacities(seed=7)
+    system = PeerFlow()
+    relays, reports = system.traffic_reports(caps, seed=8)
+    weights = system.compute_weights(relays, reports)
+    biggest = max(caps, key=caps.get)
+    smallest = min(caps, key=caps.get)
+    assert weights[biggest] > weights[smallest]
+
+
+def test_peerflow_inflation_bounded():
+    """Table 2: PeerFlow caps inflation near 2/tau (10x at tau = 0.2),
+    far below what the colluders ask for (1000x)."""
+    caps = _capacities(n=60, seed=9)
+    malicious = [f"r{i}" for i in range(4)]
+    result = peerflow_inflation_attack(caps, malicious, seed=10)
+    assert result["inflation_factor"] < result["theory_bound"] * 1.5
+    assert result["inflation_factor"] < 50  # nowhere near the 1000x ask
+
+
+def test_peerflow_growth_cap():
+    caps = {f"r{i}": mbit(100) for i in range(10)}
+    system = PeerFlow(max_growth=1.25)
+    relays, reports = system.traffic_reports(caps, seed=11)
+    previous = {fp: 1.0 for fp in caps}
+    weights = system.compute_weights(relays, reports, previous)
+    for fp in caps:
+        assert weights[fp] <= 1.25 + 1e-9
+
+
+def test_peerflow_trusted_fraction_validated():
+    with pytest.raises(ConfigurationError):
+        PeerFlow(trusted_fraction=0.0)
+
+
+def test_peerflow_statistic_resists_inflated_minority():
+    system = PeerFlow(quantile=0.25)
+    reports = np.array([1e12, 100.0, 90.0, 80.0, 70.0])
+    weights = np.array([0.1, 1.0, 1.0, 1.0, 1.0])
+    stat = system.relay_statistic(reports, weights)
+    assert stat <= 100.0  # the huge lying report is above the quantile
+
+
+# ---------------------------------------------------------------------------
+# Table 2 harness
+# ---------------------------------------------------------------------------
+
+def test_comparison_table_ordering():
+    rows = comparison_table()
+    by_name = {row.system: row for row in rows}
+    # FlashFlow: smallest attack advantage, fastest measurement.
+    assert by_name["FlashFlow"].attack_advantage == pytest.approx(1.0 / 0.75)
+    advantages = [row.attack_advantage for row in rows]
+    assert min(advantages) == by_name["FlashFlow"].attack_advantage
+    assert by_name["TorFlow"].attack_advantage == max(advantages)
+    assert (
+        by_name["FlashFlow"].measurement_seconds
+        < by_name["EigenSpeed"].measurement_seconds
+        < by_name["TorFlow"].measurement_seconds
+        < by_name["PeerFlow"].measurement_seconds
+    )
+
+
+def test_comparison_table_capacity_values_column():
+    by_name = {row.system: row for row in comparison_table()}
+    assert by_name["FlashFlow"].capacity_values == "provided"
+    assert by_name["EigenSpeed"].capacity_values == "unavailable"
+
+
+def test_comparison_accepts_measured_values():
+    rows = comparison_table(
+        torflow_advantage=150.0, eigenspeed_advantage=20.0,
+        peerflow_advantage=9.0, flashflow_hours=4.8,
+    )
+    by_name = {row.system: row for row in rows}
+    assert by_name["TorFlow"].attack_advantage == 150.0
+    assert by_name["FlashFlow"].measurement_hours == pytest.approx(4.8)
+
+
+def test_format_table_renders():
+    text = format_table(comparison_table())
+    assert "FlashFlow" in text
+    assert "1.33x" in text
+    assert "PeerFlow" in text
+
+
+def test_paper_reference_values():
+    assert PAPER_TABLE2["TorFlow"].attack_advantage == 177.0
+    assert PAPER_TABLE2["PeerFlow"].measurement_days == 14.0

@@ -1,0 +1,102 @@
+"""Tests for the TorFlow scanner model."""
+
+import pytest
+
+from repro.torflow.scanner import (
+    TORFLOW_FILE_SIZES,
+    TorFlowScanner,
+    scanner_time_estimate,
+    torflow_weights,
+)
+from repro.units import DAY, gbit, mbit
+
+
+def test_file_sizes_are_paper_set():
+    """13 sizes: 2^i KiB for i in 4..16 (paper §2)."""
+    assert len(TORFLOW_FILE_SIZES) == 13
+    assert TORFLOW_FILE_SIZES[0] == 16 * 1024
+    assert TORFLOW_FILE_SIZES[-1] == 64 * 1024 * 1024
+
+
+def _capacities(n=30, seed=0):
+    import random
+
+    rng = random.Random(seed)
+    return {f"r{i}": mbit(rng.uniform(2, 500)) for i in range(n)}
+
+
+def test_scan_produces_speed_and_ratio_per_relay():
+    caps = _capacities()
+    scan = TorFlowScanner(seed=1).scan(caps, {fp: 0.3 for fp in caps})
+    assert set(scan.speeds) == set(caps)
+    assert set(scan.ratios) == set(caps)
+
+
+def test_ratios_average_to_one():
+    caps = _capacities(n=100, seed=2)
+    scan = TorFlowScanner(seed=3).scan(caps, {fp: 0.3 for fp in caps})
+    mean_ratio = sum(scan.ratios.values()) / len(scan.ratios)
+    assert mean_ratio == pytest.approx(1.0, rel=0.05)
+
+
+def test_loaded_relay_measures_slower():
+    caps = {f"r{i}": mbit(100) for i in range(20)}
+    utils = {fp: 0.1 for fp in caps}
+    utils["r0"] = 0.97  # nearly saturated
+    scan = TorFlowScanner(seed=4, probes_per_relay=16).scan(caps, utils)
+    mean_others = sum(
+        scan.speeds[fp] for fp in caps if fp != "r0"
+    ) / (len(caps) - 1)
+    assert scan.speeds["r0"] < mean_others * 0.5
+
+
+def test_small_relay_cannot_demonstrate_speed():
+    """The TorFlow pathology: probe speed is bottlenecked by the relay's
+    free capacity, so small relays always ratio below big ones."""
+    caps = {f"big{i}": mbit(300) for i in range(10)}
+    caps.update({f"small{i}": mbit(3) for i in range(10)})
+    scan = TorFlowScanner(seed=5, probes_per_relay=16).scan(
+        caps, {fp: 0.2 for fp in caps}
+    )
+    big_mean = sum(scan.ratios[f"big{i}"] for i in range(10)) / 10
+    small_mean = sum(scan.ratios[f"small{i}"] for i in range(10)) / 10
+    assert small_mean < big_mean * 0.5
+
+
+def test_weights_multiply_advertised_by_ratio():
+    advertised = {"a": mbit(10), "b": mbit(10)}
+    scan = TorFlowScanner(seed=6).scan(
+        {"a": mbit(100), "b": mbit(100)}, {"a": 0.0, "b": 0.0}
+    )
+    weights = torflow_weights(advertised, scan)
+    assert weights["a"] == pytest.approx(advertised["a"] * scan.ratios["a"])
+
+
+def test_self_report_attack_inflates_weight():
+    """Table 2's TorFlow attack: a false advertised bandwidth passes
+    straight through into the weight."""
+    caps = _capacities(n=20, seed=7)
+    advertised = {fp: cap * 0.5 for fp, cap in caps.items()}
+    target = "r0"
+    honest = torflow_weights(
+        advertised, TorFlowScanner(seed=8).scan(caps, {fp: 0.3 for fp in caps})
+    )
+    advertised[target] = caps[target] * 100  # the lie
+    attacked = torflow_weights(
+        advertised, TorFlowScanner(seed=8).scan(caps, {fp: 0.3 for fp in caps})
+    )
+    assert attacked[target] / honest[target] == pytest.approx(200.0)
+
+
+def test_scanner_time_matches_table2():
+    """A single 1 Gbit/s scanner takes ~2 days for the network."""
+    seconds = scanner_time_estimate(6500, gbit(1))
+    assert 1.0 < seconds / DAY < 3.5
+
+
+def test_scan_deterministic():
+    caps = _capacities(n=10, seed=9)
+    utils = {fp: 0.2 for fp in caps}
+    a = TorFlowScanner(seed=10).scan(caps, utils)
+    b = TorFlowScanner(seed=10).scan(caps, utils)
+    assert a.speeds == b.speeds

@@ -1,0 +1,98 @@
+"""Tests for cells and circuit crypto."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tornet.cell import PAYLOAD_LEN, Cell, CellType
+from repro.tornet.relaycrypto import (
+    CircuitKey,
+    DhParty,
+    derive_shared_key,
+    establish_circuit_key,
+)
+from repro.units import CELL_LEN
+
+
+def test_cell_encode_decode_round_trip():
+    cell = Cell.measurement(circ_id=42)
+    decoded = Cell.decode(cell.encode())
+    assert decoded == cell
+
+
+def test_cell_wire_length():
+    assert len(Cell.measurement(1).encode()) == CELL_LEN
+
+
+def test_payload_must_be_exact_length():
+    with pytest.raises(ValueError):
+        Cell(circ_id=1, command=CellType.MEASURE, payload=b"short")
+
+
+def test_circ_id_range_checked():
+    with pytest.raises(ValueError):
+        Cell(circ_id=2 ** 32, command=CellType.MEASURE, payload=b"x" * PAYLOAD_LEN)
+
+
+def test_decode_rejects_wrong_length():
+    with pytest.raises(ValueError):
+        Cell.decode(b"x" * (CELL_LEN - 1))
+
+
+def test_measurement_cells_have_random_payloads():
+    a, b = Cell.measurement(1), Cell.measurement(1)
+    assert a.payload != b.payload  # 509 random bytes colliding: never
+
+
+def test_with_payload_replaces_payload():
+    cell = Cell.measurement(3)
+    new = cell.with_payload(bytes(PAYLOAD_LEN))
+    assert new.payload == bytes(PAYLOAD_LEN)
+    assert new.circ_id == 3
+
+
+def test_dh_exchange_agrees():
+    a, b = DhParty(), DhParty()
+    assert derive_shared_key(a, b.public) == derive_shared_key(b, a.public)
+
+
+def test_dh_rejects_degenerate_public():
+    a = DhParty()
+    with pytest.raises(ValueError):
+        a.shared_secret(1)
+
+
+def test_establish_circuit_key_both_sides_match():
+    client, relay = establish_circuit_key()
+    data = b"q" * PAYLOAD_LEN
+    assert client.process(data, 0) == relay.process(data, 0)
+
+
+def test_cipher_is_involution():
+    key, _ = establish_circuit_key()
+    data = b"hello" * 100 + b"x" * (PAYLOAD_LEN - 500)
+    assert key.process(key.process(data, 5), 5) == data
+
+
+def test_cipher_differs_per_cell_index():
+    key, _ = establish_circuit_key()
+    data = bytes(PAYLOAD_LEN)
+    assert key.process(data, 0) != key.process(data, 1)
+
+
+def test_key_must_be_32_bytes():
+    with pytest.raises(ValueError):
+        CircuitKey(b"short")
+
+
+def test_keystream_deterministic():
+    key = CircuitKey(bytes(32))
+    assert key.keystream(0, 64) == key.keystream(0, 64)
+
+
+@given(st.binary(min_size=PAYLOAD_LEN, max_size=PAYLOAD_LEN),
+       st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=50, deadline=None)
+def test_cipher_round_trip_property(payload, index):
+    key = CircuitKey(bytes(range(32)))
+    assert key.process(key.process(payload, index), index) == payload

@@ -1,0 +1,115 @@
+"""Tests for descriptors, consensuses, authorities, shared randomness."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.tornet.authority import (
+    SharedRandomness,
+    build_consensus,
+    median_vote,
+)
+from repro.tornet.consensus import Consensus, RouterStatus
+from repro.tornet.descriptor import (
+    PUBLISH_INTERVAL,
+    ServerDescriptor,
+    due_for_publish,
+)
+
+
+def test_advertised_is_min_of_observed_and_limits():
+    desc = ServerDescriptor(
+        fingerprint="r", published_at=0, observed_bw=1000.0,
+        bandwidth_rate=500.0, bandwidth_burst=800.0,
+    )
+    assert desc.advertised_bw == 500.0
+
+
+def test_advertised_without_limits_is_observed():
+    desc = ServerDescriptor(fingerprint="r", published_at=0, observed_bw=123.0)
+    assert desc.advertised_bw == 123.0
+
+
+def test_publish_interval_is_18_hours():
+    assert PUBLISH_INTERVAL == 18 * 3600
+
+
+def test_due_for_publish():
+    assert due_for_publish(None, 0)
+    assert not due_for_publish(0, PUBLISH_INTERVAL - 1)
+    assert due_for_publish(0, PUBLISH_INTERVAL)
+
+
+def test_consensus_normalized_weights_sum_to_one():
+    consensus = Consensus(valid_after=0)
+    for i, weight in enumerate((10.0, 30.0, 60.0)):
+        consensus.add(RouterStatus(fingerprint=f"r{i}", weight=weight))
+    normalized = consensus.normalized_weights()
+    assert sum(normalized.values()) == pytest.approx(1.0)
+    assert normalized["r2"] == pytest.approx(0.6)
+
+
+def test_consensus_flag_filter():
+    consensus = Consensus(valid_after=0)
+    consensus.add(RouterStatus("a", 1.0, frozenset({"Running", "Exit"})))
+    consensus.add(RouterStatus("b", 1.0, frozenset({"Running"})))
+    exits = consensus.with_flag("Exit")
+    assert [r.fingerprint for r in exits] == ["a"]
+
+
+def test_median_vote():
+    assert median_vote([1.0, 5.0, 100.0]) == 5.0
+    with pytest.raises(ProtocolError):
+        median_vote([])
+
+
+def test_build_consensus_takes_median_of_votes():
+    votes = {
+        "bwauth0": {"r1": 100.0, "r2": 10.0},
+        "bwauth1": {"r1": 110.0, "r2": 12.0},
+        "bwauth2": {"r1": 500.0},  # one outlier vote for r1
+    }
+    consensus = build_consensus(0, votes, min_votes=2)
+    assert consensus.routers["r1"].weight == 110.0
+    assert consensus.routers["r2"].weight == 11.0
+
+
+def test_build_consensus_min_votes_excludes():
+    votes = {"bwauth0": {"r1": 1.0}, "bwauth1": {}}
+    consensus = build_consensus(0, votes, min_votes=2)
+    assert "r1" not in consensus
+
+
+def test_shared_randomness_full_round():
+    seed_a = SharedRandomness.run_round(["a", "b", "c"], seed=1)
+    seed_b = SharedRandomness.run_round(["a", "b", "c"], seed=1)
+    assert seed_a == seed_b
+    assert len(seed_a) == 32
+
+
+def test_shared_randomness_different_seeds_differ():
+    assert SharedRandomness.run_round(["a", "b"], seed=1) != \
+        SharedRandomness.run_round(["a", "b"], seed=2)
+
+
+def test_shared_randomness_reveal_must_match_commit():
+    protocol = SharedRandomness(["a", "b"], seed=3)
+    reveal_a = protocol.make_reveal()
+    reveal_b = protocol.make_reveal()
+    protocol.submit_commit("a", SharedRandomness.commitment(reveal_a))
+    protocol.submit_commit("b", SharedRandomness.commitment(reveal_b))
+    with pytest.raises(ProtocolError):
+        protocol.submit_reveal("a", reveal_b)  # wrong reveal
+
+
+def test_shared_randomness_phases_enforced():
+    protocol = SharedRandomness(["a", "b"], seed=4)
+    with pytest.raises(ProtocolError):
+        protocol.submit_reveal("a", b"\x00" * 32)  # still in commit phase
+    with pytest.raises(ProtocolError):
+        protocol.seed()  # not done
+
+
+def test_shared_randomness_unknown_authority():
+    protocol = SharedRandomness(["a"], seed=5)
+    with pytest.raises(ProtocolError):
+        protocol.submit_commit("zz", b"\x00" * 32)

@@ -1,0 +1,154 @@
+"""Tests for the synthetic network generator and path selection."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tornet.circuit import Circuit, circuit_rate_cap
+from repro.tornet.consensus import Consensus, RouterStatus
+from repro.tornet.network import (
+    JULY_2019_MAX_CAPACITY,
+    new_relay_arrivals,
+    sample_scaled_network,
+    synthesize_network,
+)
+from repro.tornet.pathsel import PathSelector, WeightedSampler
+from repro.units import mbit, to_gbit
+
+
+@pytest.fixture(scope="module")
+def network():
+    return synthesize_network(n_relays=2000, seed=11)
+
+
+def test_network_size(network):
+    assert len(network) == 2000
+
+
+def test_max_capacity_clipped(network):
+    assert network.max_capacity() <= JULY_2019_MAX_CAPACITY
+
+
+def test_total_capacity_matches_july_2019_shape(network):
+    """Scaled to 6419 relays the total should be near 608 Gbit/s."""
+    scaled_total = network.total_capacity() * 6419 / len(network)
+    assert 450 < to_gbit(scaled_total) < 750
+
+
+def test_capacity_percentiles_monotone(network):
+    p25 = network.percentile_capacity(25)
+    p75 = network.percentile_capacity(75)
+    assert p25 < network.percentile_capacity(50) < p75
+
+
+def test_deterministic_generation():
+    a = synthesize_network(n_relays=50, seed=3)
+    b = synthesize_network(n_relays=50, seed=3)
+    assert a.capacities() == b.capacities()
+
+
+def test_flags_present(network):
+    exits = sum(1 for r in network.relays.values() if "Exit" in r.flags)
+    guards = sum(1 for r in network.relays.values() if "Guard" in r.flags)
+    assert 0.05 < exits / len(network) < 0.4
+    assert 0.05 < guards / len(network) < 0.6
+
+
+def test_scaled_sample_preserves_distribution(network):
+    scaled = sample_scaled_network(network, fraction=0.05, seed=1)
+    assert len(scaled) == 100
+    # Stratified sampling keeps medians in the same ballpark.
+    full_median = network.percentile_capacity(50)
+    scaled_median = scaled.percentile_capacity(50)
+    assert scaled_median == pytest.approx(full_median, rel=0.5)
+
+
+def test_new_relay_arrivals_shape():
+    counts = new_relay_arrivals(2000, seed=5)
+    counts_sorted = sorted(counts)
+    median = counts_sorted[len(counts) // 2]
+    assert 1 <= median <= 5  # paper: median 3
+    assert max(counts) <= 98
+    assert min(counts) >= 0
+
+
+def test_weighted_sampler_distribution():
+    sampler = WeightedSampler(["a", "b"], [1.0, 9.0])
+    rng = random.Random(1)
+    draws = Counter(sampler.sample(rng) for _ in range(5000))
+    assert draws["b"] / 5000 == pytest.approx(0.9, abs=0.03)
+
+
+def test_weighted_sampler_exclusion():
+    sampler = WeightedSampler(["a", "b", "c"], [1.0, 1.0, 98.0])
+    rng = random.Random(2)
+    for _ in range(100):
+        assert sampler.sample(rng, exclude={"c"}) in ("a", "b")
+
+
+def test_weighted_sampler_all_excluded():
+    sampler = WeightedSampler(["a"], [1.0])
+    with pytest.raises(ConfigurationError):
+        sampler.sample(random.Random(3), exclude={"a"})
+
+
+def test_path_selector_positions():
+    consensus = Consensus(valid_after=0)
+    consensus.add(RouterStatus("g", 10.0, frozenset({"Guard", "Running"})))
+    consensus.add(RouterStatus("m", 10.0, frozenset({"Running"})))
+    consensus.add(RouterStatus("e", 10.0, frozenset({"Exit", "Running"})))
+    selector = PathSelector(consensus, seed=4)
+    for _ in range(50):
+        guard, middle, exit_fp = selector.select_path()
+        assert len({guard, middle, exit_fp}) == 3
+        assert exit_fp == "e"
+        assert guard == "g"
+
+
+def test_path_selection_follows_weights():
+    consensus = Consensus(valid_after=0)
+    flags = frozenset({"Guard", "Exit", "Running"})
+    weights = {"big": 85.0, "mid": 9.0, "small": 1.0}
+    for name, weight in weights.items():
+        consensus.add(RouterStatus(name, weight, flags))
+    for i in range(5):  # filler relays so paths do not use everyone
+        consensus.add(RouterStatus(f"filler{i}", 1.0, flags))
+    selector = PathSelector(consensus, seed=5)
+    seen = Counter()
+    for _ in range(3000):
+        for fp in selector.select_path():
+            seen[fp] += 1
+    assert seen["big"] > seen["mid"] > seen["small"]
+
+
+def test_circuit_validation():
+    with pytest.raises(ValueError):
+        Circuit(path=())
+    with pytest.raises(ValueError):
+        Circuit(path=("a", "a", "b"))
+    with pytest.raises(ValueError):
+        Circuit(path=("a", "b"), is_measurement=True)
+
+
+def test_measurement_circuit_one_hop():
+    circuit = Circuit(path=("target",), is_measurement=True)
+    assert circuit.entry == circuit.exit == "target"
+
+
+def test_circuit_rate_cap_streams():
+    """One stream is stream-window bound; two max the circuit window."""
+    one = circuit_rate_cap(0.1, n_streams=1)
+    two = circuit_rate_cap(0.1, n_streams=2)
+    three = circuit_rate_cap(0.1, n_streams=3)
+    assert two == pytest.approx(2 * one)
+    assert three == pytest.approx(two)  # circuit window binds at 1000 cells
+
+
+def test_circuit_rate_cap_scales_inverse_rtt():
+    assert circuit_rate_cap(0.05) == pytest.approx(2 * circuit_rate_cap(0.1))
+
+
+def test_circuit_rate_cap_zero_streams():
+    assert circuit_rate_cap(0.1, n_streams=0) == 0.0

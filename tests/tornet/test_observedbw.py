@@ -1,0 +1,104 @@
+"""Tests for the observed-bandwidth heuristic (tor-spec §2.1.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tornet.observedbw import HISTORY_DAYS, WINDOW_SECONDS, ObservedBandwidth
+from repro.units import DAY
+
+
+def test_empty_history_reports_zero():
+    assert ObservedBandwidth().observed() == 0.0
+
+
+def test_needs_full_window_to_register():
+    ob = ObservedBandwidth()
+    for _ in range(WINDOW_SECONDS - 1):
+        ob.record_second(100.0)
+    assert ob.observed() == 0.0
+    ob.record_second(100.0)
+    assert ob.observed() == pytest.approx(100.0)
+
+
+def test_max_of_window_means():
+    ob = ObservedBandwidth()
+    # A single 1-second spike inside a window of 100s raises the mean by
+    # spike/10, not to the spike value.
+    for _ in range(WINDOW_SECONDS):
+        ob.record_second(100.0)
+    ob.record_second(1100.0)
+    expected = (9 * 100 + 1100) / WINDOW_SECONDS
+    assert ob.observed() == pytest.approx(expected)
+
+
+def test_observation_expires_after_five_days():
+    ob = ObservedBandwidth()
+    ob.record_span(500.0, start=0, duration=60)
+    assert ob.observed(t=60) == pytest.approx(500.0)
+    # Still visible within 5 days.
+    assert ob.observed(t=4 * DAY) == pytest.approx(500.0)
+    # Gone after the 5-day horizon passes.
+    assert ob.observed(t=(HISTORY_DAYS + 1) * DAY) == 0.0
+
+
+def test_record_span_short_duration_uses_window_path():
+    ob = ObservedBandwidth()
+    ob.record_span(300.0, start=0, duration=5)
+    # 5 seconds is less than the 10-second window: no observation yet.
+    assert ob.observed() == 0.0
+
+
+def test_record_span_long_duration():
+    ob = ObservedBandwidth()
+    ob.record_span(250.0, start=100, duration=30)
+    assert ob.observed(t=130) == pytest.approx(250.0)
+
+
+def test_idle_gap_clears_window():
+    ob = ObservedBandwidth()
+    for t in range(1, 6):
+        ob.record_second(1000.0, t=t)
+    # Jump forward: the partial window must not combine across the gap.
+    for t in range(100, 100 + WINDOW_SECONDS):
+        ob.record_second(10.0, t=t)
+    assert ob.observed() == pytest.approx(10.0)
+
+
+def test_time_cannot_go_backwards():
+    ob = ObservedBandwidth()
+    ob.record_second(1.0, t=100)
+    with pytest.raises(ValueError):
+        ob.record_second(1.0, t=50)
+
+
+def test_keeps_maximum_across_days():
+    ob = ObservedBandwidth()
+    ob.record_span(100.0, start=0, duration=60)
+    ob.record_span(700.0, start=DAY, duration=60)
+    ob.record_span(50.0, start=2 * DAY, duration=60)
+    assert ob.observed(t=2 * DAY + 60) == pytest.approx(700.0)
+
+
+@given(
+    rates=st.lists(
+        st.floats(min_value=0, max_value=1e9), min_size=10, max_size=100
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_observed_never_exceeds_max_rate(rates):
+    ob = ObservedBandwidth()
+    for rate in rates:
+        ob.record_second(rate)
+    assert ob.observed() <= max(rates) + 1e-6
+
+
+@given(
+    rate=st.floats(min_value=1, max_value=1e9),
+    duration=st.integers(min_value=WINDOW_SECONDS, max_value=5000),
+)
+@settings(max_examples=60, deadline=None)
+def test_constant_rate_observed_exactly(rate, duration):
+    ob = ObservedBandwidth()
+    ob.record_span(rate, start=0, duration=duration)
+    assert ob.observed(t=duration) == pytest.approx(rate)

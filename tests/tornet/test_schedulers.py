@@ -1,0 +1,81 @@
+"""Tests for the KIST-style and measurement schedulers and the CPU model."""
+
+import pytest
+
+from repro.tornet.cpu import CpuModel
+from repro.tornet.kist import KIST_PER_SOCKET_CAP, kist_rate_cap
+from repro.tornet.meassched import (
+    MEASUREMENT_PER_SOCKET_CAP,
+    measurement_rate_cap,
+)
+from repro.units import mbit
+
+
+def test_kist_linear_in_sockets():
+    assert kist_rate_cap(13) == pytest.approx(13 * KIST_PER_SOCKET_CAP)
+    assert kist_rate_cap(0) == 0.0
+
+
+def test_kist_thirteen_sockets_saturate_lab_cpu():
+    """Appendix C: CPU hits 100% at 13 sockets on the lab machine."""
+    assert kist_rate_cap(13) >= mbit(1248)
+
+
+def test_kist_negative_rejected():
+    with pytest.raises(ValueError):
+        kist_rate_cap(-1)
+
+
+def test_measurement_scheduler_single_socket_exceeds_tor_capacity():
+    """The design requirement (§4.1): full relay capacity on few sockets."""
+    assert measurement_rate_cap(1) > mbit(1269)
+
+
+def test_measurement_scheduler_per_socket_far_above_kist():
+    assert MEASUREMENT_PER_SOCKET_CAP > 10 * KIST_PER_SOCKET_CAP
+
+
+def test_measurement_negative_rejected():
+    with pytest.raises(ValueError):
+        measurement_rate_cap(-1)
+
+
+def test_cpu_no_sockets_full_capacity():
+    cpu = CpuModel(max_forward_bits=mbit(1000))
+    assert cpu.effective_capacity() == mbit(1000)
+
+
+def test_cpu_overhead_free_region():
+    cpu = CpuModel(max_forward_bits=mbit(1000))
+    assert cpu.effective_capacity(n_normal_sockets=20) == mbit(1000)
+
+
+def test_cpu_normal_socket_decline_matches_fig11():
+    """Figure 11 calibration: ~12% decline between 20 and 100 sockets."""
+    cpu = CpuModel(max_forward_bits=mbit(1248))
+    at_20 = cpu.effective_capacity(n_normal_sockets=20)
+    at_100 = cpu.effective_capacity(n_normal_sockets=100)
+    decline = 1 - at_100 / at_20
+    assert 0.08 < decline < 0.16
+
+
+def test_cpu_measurement_sockets_cheap():
+    """s = 160 measurement sockets must cost only a few percent, or
+    FlashFlow could not measure within Figure 6's bounds."""
+    cpu = CpuModel(max_forward_bits=mbit(890))
+    at_160 = cpu.effective_capacity(n_measurement_sockets=160)
+    assert at_160 > mbit(890) * 0.94
+
+
+def test_cpu_mixed_socket_classes_additive():
+    cpu = CpuModel(max_forward_bits=mbit(1000))
+    mixed = cpu.effective_capacity(
+        n_normal_sockets=50, n_measurement_sockets=160
+    )
+    assert mixed < cpu.effective_capacity(n_normal_sockets=50)
+    assert mixed < cpu.effective_capacity(n_measurement_sockets=160)
+
+
+def test_cpu_negative_sockets_rejected():
+    with pytest.raises(ValueError):
+        CpuModel().effective_capacity(n_normal_sockets=-1)

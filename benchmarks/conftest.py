@@ -15,6 +15,17 @@ import pathlib
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+_BENCH_DIR = pathlib.Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items):
+    """Mark every test under benchmarks/ so ``-m "not bench"`` skips them.
+
+    Tier-1 runs (no ``-m`` filter) are unaffected.
+    """
+    for item in items:
+        if _BENCH_DIR in pathlib.Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.bench)
 
 
 class Report:

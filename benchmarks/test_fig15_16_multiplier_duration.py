@@ -15,6 +15,7 @@ import itertools
 import numpy as np
 
 from benchmarks.conftest import run_once
+from repro.rng import seed_from
 from repro.core.allocation import allocate_evenly
 from repro.core.measurement import run_measurement
 from repro.core.measurer import Measurer
@@ -63,10 +64,14 @@ def _run_sweep(duration=60, seed=15):
                         assignments = allocate_evenly(team, required)
                     except AllocationError:
                         continue  # a member cannot supply its even share
+                    # Stable across processes (hash() is salted by
+                    # PYTHONHASHSEED and made this sweep flaky).
                     outcome = run_measurement(
                         relay, assignments, params,
                         network=model, target_location="US-SW",
-                        seed=seed + hash((multiplier, limit, subset)) % 10000,
+                        seed=seed + seed_from(
+                            0, f"{multiplier}-{limit}-{'-'.join(subset)}"
+                        ) % 10000,
                     )
                     outcomes.append((multiplier, limit, outcome, truth))
     return outcomes

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Collection-clean tier-1 test run.
+#
+# Stray __pycache__ directories are the classic cause of pytest's
+# "import file mismatch" collection error when test basenames repeat
+# across packages, so wipe them before collecting. Extra pytest args
+# pass straight through (e.g. scripts/tier1.sh -m "not bench").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+find . -name __pycache__ -type d -prune -exec rm -rf {} +
+find . -name '*.pyc' -delete
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} exec python -m pytest -x -q "$@"

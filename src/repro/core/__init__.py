@@ -13,6 +13,9 @@ Public API highlights:
 
 - :class:`FlashFlowParams` -- all protocol parameters with paper defaults,
 - :class:`Measurer` / :func:`allocate_capacity` -- team modelling,
+- :class:`MeasurementEngine` -- the batched, parallel execution core
+  (precomputed per-assignment invariants, ``run_many`` concurrency, the
+  analytic fast path),
 - :func:`run_measurement` -- one authenticated measurement slot,
 - :class:`FlashFlowAuthority` -- the BWAuth measurement loop (old/new
   relays, retry-with-doubling),
@@ -29,6 +32,11 @@ from repro.core.allocation import (
 )
 from repro.core.bwauth import FlashFlowAuthority, RelayEstimate
 from repro.core.deployment import Deployment, PeriodRecord
+from repro.core.engine import (
+    MeasurementEngine,
+    MeasurementNoise,
+    MeasurementSpec,
+)
 from repro.core.bwfile import BandwidthFile, BandwidthLine
 from repro.core.aggregation import aggregate_bwauth_votes
 from repro.core.measurement import MeasurementOutcome, run_measurement
@@ -52,7 +60,10 @@ __all__ = [
     "EchoVerifier",
     "FlashFlowAuthority",
     "FlashFlowParams",
+    "MeasurementEngine",
+    "MeasurementNoise",
     "MeasurementOutcome",
+    "MeasurementSpec",
     "Measurer",
     "MeasurerAssignment",
     "MeasuringProcess",

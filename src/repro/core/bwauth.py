@@ -22,10 +22,11 @@ from repro.core.allocation import (
     allocate_capacity,
     total_allocated,
 )
-from repro.core.measurement import (
+from repro.core.engine import (
+    MeasurementEngine,
     MeasurementNoise,
     MeasurementOutcome,
-    run_measurement,
+    MeasurementSpec,
 )
 from repro.core.measurer import Measurer
 from repro.core.messages import SigningIdentity
@@ -74,6 +75,11 @@ class FlashFlowAuthority:
         self.identity = SigningIdentity(name)
         #: fingerprint -> last accepted capacity estimate (bit/s).
         self.estimates: dict[str, float] = {}
+        #: The execution engine all of this authority's measurements --
+        #: single-relay and campaign -- run through.
+        self.engine = MeasurementEngine(
+            params=self.params, network=self.network
+        )
 
     # ------------------------------------------------------------------
     # Measuring measurers (paper §4.2)
@@ -160,18 +166,20 @@ class FlashFlowAuthority:
             required = min(params.allocation_factor * z0, self.team_capacity())
             capped = required < params.allocation_factor * z0
             assignments = allocate_capacity(self.team, required)
-            outcome = run_measurement(
-                target=target,
-                assignments=assignments,
-                params=params,
-                network=self.network,
-                target_location=target_location,
-                background_demand=background_demand,
-                seed=self.seed + seed_offset + round_index,
-                bwauth_id=self.name,
-                period_index=period_index,
-                enforce_admission=False,
-                noise=noise,
+            outcome = self.engine.run(
+                MeasurementSpec(
+                    target=target,
+                    assignments=assignments,
+                    params=params,
+                    network=self.network,
+                    target_location=target_location,
+                    background_demand=background_demand,
+                    seed=self.seed + seed_offset + round_index,
+                    bwauth_id=self.name,
+                    period_index=period_index,
+                    enforce_admission=False,
+                    noise=noise,
+                )
             )
             outcomes.append(outcome)
 

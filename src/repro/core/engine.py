@@ -1,0 +1,540 @@
+"""The batched, parallel measurement engine (paper §4.1, §4.3, §7).
+
+This module is the execution core behind every simulated FlashFlow
+measurement. The original hot path re-derived per-socket TCP caps and
+noise socket-by-socket, second-by-second in pure Python; the engine
+splits a measurement into
+
+1. a **prepare** phase that computes all per-assignment invariants once
+   per measurement -- resolved network paths, per-second TCP ramp
+   profiles (:func:`repro.netsim.tcp.tcp_ramp_profile`), socket shares,
+   the measurer-side socket-efficiency factor, and the binding
+   link/allocation caps -- collapsing everything that does not change
+   second-to-second into one effective-cap array per assignment; and
+2. an **execute** phase that draws all per-second supply noise in a
+   single RNG pass and walks the slot with nothing but a handful of
+   multiply-adds per second plus the stateful relay and verifier calls.
+
+Both phases consume the measurement's forked RNG stream
+(:func:`repro.rng.fork`) in exactly the order the historical serial loop
+did, so estimates are bit-identical to pre-engine results, and
+:meth:`MeasurementEngine.run_many` can execute independent measurements
+concurrently (``concurrent.futures``) with any worker count while
+producing the same bits as serial execution.
+
+The engine also hosts the **analytic fast path**
+(:meth:`MeasurementEngine.analytic_estimate`) used by campaign code that
+only cares about slot accounting, and shares one Diffie-Hellman circuit
+key across verifiers (the handshake is pure simulation overhead --
+estimates and forgery detection are independent of the key bits; pass
+``reuse_circuit_keys=False`` to recover a fresh handshake per slot).
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.allocation import MeasurerAssignment, total_allocated
+from repro.core.measurer import measurer_socket_efficiency
+from repro.core.params import FlashFlowParams
+from repro.core.verification import EchoVerifier
+from repro.errors import MeasurementFailure, VerificationFailure
+from repro.netsim.latency import NetworkModel, Path, internet_loss_for_rtt
+from repro.netsim.socketbuf import KernelConfig
+from repro.netsim.tcp import tcp_ramp_profile
+from repro.rng import fork
+from repro.tornet.relay import Relay
+from repro.tornet.relaycrypto import CircuitKey, establish_circuit_key
+from repro.units import bits_to_bytes
+
+#: Median Internet RTT used when no explicit topology is given
+#: (the tmodel dataset median the paper cites in Appendix D).
+DEFAULT_RTT_SECONDS = 0.118
+
+
+@dataclass(frozen=True)
+class MeasurementNoise:
+    """Stochastic environment knobs for a measurement.
+
+    ``target_env_mean``/``target_env_std`` model cross-traffic and
+    time-of-day variation at the target host over a whole measurement;
+    per-second relay jitter lives in :class:`repro.tornet.relay.Relay`.
+    The defaults reproduce the paper's Figure 6 spread (95% of
+    measurements within 11% of ground truth) on dedicated Internet hosts;
+    the Shadow experiments use a lower mean (shared congested topology).
+    """
+
+    target_env_mean: float = 1.0
+    target_env_std: float = 0.035
+    target_env_min: float = 0.85
+    target_env_max: float = 1.03
+    #: Per-second multiplicative noise on each measurer's supply.
+    supply_noise_std: float = 0.03
+
+
+@dataclass
+class MeasurementOutcome:
+    """Result of one measurement slot."""
+
+    #: Capacity estimate z = median(z_j), bit/s. Zero if the slot failed.
+    estimate: float
+    #: Per-second measurement traffic x_j, bit/s.
+    per_second_measurement: list[float] = field(default_factory=list)
+    #: Per-second normal traffic as reported by the relay (bit/s).
+    per_second_background_reported: list[float] = field(default_factory=list)
+    #: Per-second normal traffic after the r-ratio clamp (bit/s).
+    per_second_background_clamped: list[float] = field(default_factory=list)
+    #: Per-second totals z_j (bit/s).
+    per_second_total: list[float] = field(default_factory=list)
+    #: Sum of the a_i allocated for this slot (bit/s).
+    total_allocated: float = 0.0
+    duration: int = 0
+    failed: bool = False
+    failure_reason: str | None = None
+    cells_checked: int = 0
+
+    def estimate_with_duration(self, seconds: int) -> float:
+        """Re-aggregate as if the slot had lasted only ``seconds``.
+
+        Used by the Appendix E.3 duration-strategy analysis: a 60-second
+        run can be truncated to emulate 10/20/30-second median strategies.
+        """
+        if seconds <= 0:
+            raise ValueError("duration must be positive")
+        if not self.per_second_total:
+            return 0.0
+        window = self.per_second_total[: min(seconds, len(self.per_second_total))]
+        return float(statistics.median(window))
+
+
+def clamp_background(x_bits: float, y_bits: float, ratio: float) -> float:
+    """The BWAuth's normal-traffic clamp: y <= x * r / (1 - r) (§4.1)."""
+    if ratio >= 1:
+        raise ValueError("ratio must be < 1")
+    if ratio <= 0:
+        return 0.0
+    return min(y_bits, x_bits * ratio / (1.0 - ratio))
+
+
+def socket_share_for(params: FlashFlowParams, n_active: int) -> int:
+    """Each participating measurer's share of the ``s`` sockets (§4.1)."""
+    return max(1, params.n_sockets // n_active)
+
+
+def _resolve_path(
+    network: NetworkModel | None,
+    measurer_host: str,
+    target_location: str | None,
+    default_rtt: float,
+) -> Path:
+    if network is not None and target_location is not None:
+        try:
+            return network.path(measurer_host, target_location)
+        except Exception:
+            pass
+    return Path(
+        src=measurer_host,
+        dst=target_location or "target",
+        rtt_seconds=default_rtt,
+        loss=internet_loss_for_rtt(default_rtt),
+    )
+
+
+@dataclass(frozen=True)
+class MeasurementSpec:
+    """Everything needed to run one measurement slot.
+
+    A spec is a pure description: building one draws no randomness and
+    touches no shared state, so lists of specs can be handed to
+    :meth:`MeasurementEngine.run_many` for concurrent execution. Fields
+    left ``None`` fall back to the engine's defaults.
+    """
+
+    target: Relay
+    assignments: Sequence[MeasurerAssignment]
+    params: FlashFlowParams | None = None
+    network: NetworkModel | None = None
+    target_location: str | None = None
+    background_demand: float | Callable[[int], float] = 0.0
+    duration: int | None = None
+    seed: int = 0
+    bwauth_id: str = "bwauth0"
+    period_index: int = 0
+    verify: bool = True
+    enforce_admission: bool = True
+    noise: MeasurementNoise | None = None
+    default_rtt: float | None = None
+    #: Optional :class:`repro.core.session.MeasurementSession` (or any
+    #: object with a compatible ``record_second``) receiving signed
+    #: per-second reports as the slot runs.
+    session: object | None = None
+
+
+@dataclass
+class _AssignmentProfile:
+    """Per-assignment invariants, precomputed once per measurement."""
+
+    assignment: MeasurerAssignment
+    #: Effective per-second supply cap: min(a_i, TCP cap * sockets *
+    #: quality, link) * socket efficiency -- everything but the
+    #: per-second noise draw.
+    caps: list[float]
+
+
+@dataclass
+class _Plan:
+    """A prepared measurement, ready for the batched per-second walk."""
+
+    spec: MeasurementSpec
+    params: FlashFlowParams
+    noise: MeasurementNoise
+    duration: int
+    rng: object
+    env: float
+    profiles: list[_AssignmentProfile]
+    verifier: EchoVerifier | None
+    bg_of: Callable[[int], float]
+    total_allocated: float
+    #: Early result (admission refusal); skips execution entirely.
+    outcome: MeasurementOutcome | None = None
+
+
+class MeasurementEngine:
+    """Prepares and executes measurement slots, serially or in parallel.
+
+    One engine instance is safe to share across threads: per-measurement
+    state lives in the plan, and the only shared mutable is the lazily
+    established circuit key, which is created under a lock and immutable
+    afterwards.
+    """
+
+    def __init__(
+        self,
+        params: FlashFlowParams | None = None,
+        network: NetworkModel | None = None,
+        noise: MeasurementNoise | None = None,
+        default_rtt: float = DEFAULT_RTT_SECONDS,
+        max_workers: int | None = None,
+        reuse_circuit_keys: bool = True,
+    ):
+        self.params = params
+        self.network = network
+        self.noise = noise
+        self.default_rtt = default_rtt
+        self.max_workers = max_workers
+        self.reuse_circuit_keys = reuse_circuit_keys
+        self._shared_key: CircuitKey | None = None
+        self._key_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Circuit keys
+    # ------------------------------------------------------------------
+
+    def _verifier_key(self) -> CircuitKey | None:
+        """One DH handshake per engine instead of per measurement.
+
+        The 2048-bit modular exponentiations of
+        :func:`establish_circuit_key` dominated the pre-engine profile
+        while contributing nothing to the simulation: estimates and the
+        (1-p)^k forgery-detection bound are independent of the key bits.
+        """
+        if not self.reuse_circuit_keys:
+            return None  # EchoVerifier runs its own handshake.
+        if self._shared_key is None:
+            with self._key_lock:
+                if self._shared_key is None:
+                    self._shared_key = establish_circuit_key()[0]
+        return self._shared_key
+
+    # ------------------------------------------------------------------
+    # Prepare: per-measurement invariants
+    # ------------------------------------------------------------------
+
+    def prepare(self, spec: MeasurementSpec) -> _Plan:
+        """Resolve the spec and precompute all per-assignment invariants.
+
+        RNG draws happen in the exact order of the historical serial
+        loop's setup phase: environment factor first, then one path
+        quality per participating assignment.
+        """
+        params = spec.params or self.params or FlashFlowParams()
+        noise = spec.noise or self.noise or MeasurementNoise()
+        network = spec.network if spec.network is not None else self.network
+        default_rtt = (
+            spec.default_rtt if spec.default_rtt is not None else self.default_rtt
+        )
+        duration = params.slot_seconds if spec.duration is None else spec.duration
+        target = spec.target
+        rng = fork(
+            spec.seed,
+            f"measurement-{spec.bwauth_id}-{target.fingerprint}"
+            f"-{spec.period_index}",
+        )
+
+        active = [a for a in spec.assignments if a.participates]
+        if not active:
+            raise MeasurementFailure(
+                "no measurer allocated any capacity", target.fingerprint
+            )
+
+        if spec.enforce_admission and not target.accept_measurement(
+            spec.bwauth_id, spec.period_index
+        ):
+            return _Plan(
+                spec=spec, params=params, noise=noise, duration=duration,
+                rng=rng, env=1.0, profiles=[], verifier=None,
+                bg_of=lambda _t: 0.0,
+                total_allocated=total_allocated(list(spec.assignments)),
+                outcome=MeasurementOutcome(
+                    estimate=0.0,
+                    total_allocated=total_allocated(list(spec.assignments)),
+                    failed=True,
+                    failure_reason="relay refused: already measured this period",
+                ),
+            )
+
+        socket_share = socket_share_for(params, len(active))
+        target_kernel = (
+            target.host.kernel if target.host is not None else KernelConfig.default()
+        )
+        env = min(
+            noise.target_env_max,
+            max(
+                noise.target_env_min,
+                rng.gauss(noise.target_env_mean, noise.target_env_std),
+            ),
+        )
+
+        efficiency = measurer_socket_efficiency(socket_share)
+        profiles = []
+        for a in active:
+            path = _resolve_path(
+                network, a.measurer.host.name, spec.target_location, default_rtt
+            )
+            quality = (
+                network.sample_path_quality(rng)
+                if network is not None
+                else max(0.45, min(1.0, rng.gauss(0.92, 0.10)))
+            )
+            ramp = tcp_ramp_profile(
+                path, a.measurer.host.kernel, target_kernel, duration
+            )
+            link = a.measurer.host.link_capacity
+            # a_i is enforced by the processes' BandwidthRate; the TCP cap
+            # by the path; the measurer's own link by its capacity;
+            # managing many sockets costs measurer CPU.
+            caps = [
+                min(a.allocated, per_socket * socket_share * quality, link)
+                * efficiency
+                for per_socket in ramp
+            ]
+            profiles.append(_AssignmentProfile(assignment=a, caps=caps))
+
+        verifier = (
+            EchoVerifier(
+                params.p_check,
+                fork(spec.seed, f"verify-{target.fingerprint}"),
+                key=self._verifier_key(),
+            )
+            if spec.verify
+            else None
+        )
+
+        background = spec.background_demand
+        bg_of = (
+            background
+            if callable(background)
+            else (lambda _t, v=float(background): v)
+        )
+
+        return _Plan(
+            spec=spec, params=params, noise=noise, duration=duration,
+            rng=rng, env=env, profiles=profiles, verifier=verifier,
+            bg_of=bg_of,
+            total_allocated=total_allocated(list(spec.assignments)),
+        )
+
+    # ------------------------------------------------------------------
+    # Execute: batched per-second walk
+    # ------------------------------------------------------------------
+
+    def execute(self, plan: _Plan) -> MeasurementOutcome:
+        """Walk the slot using the precomputed caps.
+
+        All supply noise is drawn in a single pass up front (same stream
+        positions as drawing inside the loop: the measurement RNG feeds
+        nothing else once the plan exists); the per-second work is then
+        one multiply-add per assignment plus the stateful relay report
+        and echo-cell verification.
+        """
+        if plan.outcome is not None:
+            return plan.outcome
+        spec, params, noise = plan.spec, plan.params, plan.noise
+        target, duration = spec.target, plan.duration
+        profiles, verifier = plan.profiles, plan.verifier
+        n_profiles = len(profiles)
+        cap_arrays = [p.caps for p in profiles]
+
+        gauss = plan.rng.gauss
+        noise_std = noise.supply_noise_std
+        draws = [
+            max(0.3, gauss(1.0, noise_std))
+            for _ in range(duration * n_profiles)
+        ]
+
+        session = spec.session
+        measurer_names = [p.assignment.measurer.name for p in profiles]
+
+        xs: list[float] = []
+        ys_raw: list[float] = []
+        ys_clamped: list[float] = []
+        zs: list[float] = []
+
+        draw_index = 0
+        for second in range(duration):
+            supply_total = 0.0
+            contributions: list[float] | None = [] if session is not None else None
+            for caps in cap_arrays:
+                part = caps[second] * draws[draw_index]
+                draw_index += 1
+                supply_total += part
+                if contributions is not None:
+                    contributions.append(part)
+
+            report = target.measured_second(
+                measurement_supply_bits=supply_total,
+                background_demand_bits=plan.bg_of(second),
+                ratio_r=params.ratio,
+                n_measurement_sockets=params.n_sockets,
+                external_factor=plan.env,
+            )
+            x_bits = report.measurement_bytes * 8.0
+            y_bits = report.background_reported_bytes * 8.0
+            y_clamped = clamp_background(x_bits, y_bits, params.ratio)
+
+            xs.append(x_bits)
+            ys_raw.append(y_bits)
+            ys_clamped.append(y_clamped)
+            zs.append(x_bits + y_clamped)
+
+            if session is not None and contributions is not None:
+                # Received measurement bytes split by each measurer's
+                # share of the offered supply.
+                share = (
+                    report.measurement_bytes / supply_total
+                    if supply_total > 0
+                    else 0.0
+                )
+                session.record_second(
+                    second,
+                    {
+                        name: part * share
+                        for name, part in zip(measurer_names, contributions)
+                    },
+                    report.background_reported_bytes,
+                )
+
+            if verifier is not None:
+                try:
+                    verifier.verify_second(target, bits_to_bytes(x_bits))
+                except VerificationFailure as failure:
+                    # The BWAuth ends the measurement early (paper §4.1).
+                    return MeasurementOutcome(
+                        estimate=0.0,
+                        per_second_measurement=xs,
+                        per_second_background_reported=ys_raw,
+                        per_second_background_clamped=ys_clamped,
+                        per_second_total=zs,
+                        total_allocated=plan.total_allocated,
+                        duration=second + 1,
+                        failed=True,
+                        failure_reason=str(failure),
+                        cells_checked=verifier.cells_checked,
+                    )
+
+        return MeasurementOutcome(
+            estimate=float(statistics.median(zs)),
+            per_second_measurement=xs,
+            per_second_background_reported=ys_raw,
+            per_second_background_clamped=ys_clamped,
+            per_second_total=zs,
+            total_allocated=plan.total_allocated,
+            duration=duration,
+            cells_checked=verifier.cells_checked if verifier is not None else 0,
+        )
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def run(self, spec: MeasurementSpec) -> MeasurementOutcome:
+        """Run one measurement slot."""
+        return self.execute(self.prepare(spec))
+
+    def run_many(
+        self,
+        specs: Sequence[MeasurementSpec],
+        max_workers: int | None = None,
+    ) -> list[MeasurementOutcome]:
+        """Run independent measurements concurrently.
+
+        Every spec's randomness comes from its own forked stream (seed +
+        per-measurement label) and every stateful object (target relay,
+        verifier) is per-spec, so any worker count -- including 1 --
+        produces bit-identical outcomes in spec order. Specs sharing a
+        target relay fall back to serial execution: the relay's token
+        bucket and RNG are stateful and draw in slot order.
+        """
+        specs = list(specs)
+        if max_workers is None:
+            max_workers = self.max_workers
+        if max_workers is None:
+            max_workers = min(32, (os.cpu_count() or 1) + 4)
+        distinct_targets = len({id(s.target) for s in specs})
+        if max_workers <= 1 or len(specs) <= 1 or distinct_targets < len(specs):
+            return [self.run(spec) for spec in specs]
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(self.run, specs))
+
+    # ------------------------------------------------------------------
+    # Analytic fast path (subsumes the old full_simulation=False branch)
+    # ------------------------------------------------------------------
+
+    def analytic_estimate(
+        self,
+        target: Relay,
+        assignments: Sequence[MeasurerAssignment],
+        params: FlashFlowParams | None = None,
+        wobble: float = 1.0,
+    ) -> float:
+        """Closed-form estimate: supply-limited true capacity.
+
+        The measurers can push ``sum(a_i) / m`` of goodput; an honest
+        relay echoes up to its true capacity scaled by ``wobble`` (the
+        caller's pre-drawn measurement-error factor). Used by campaign
+        code where only accept/retry accounting matters, not per-second
+        traffic.
+        """
+        params = params or self.params or FlashFlowParams()
+        supply = total_allocated(list(assignments)) / params.multiplier
+        return min(target.true_capacity * wobble, supply)
+
+
+#: Process-wide engine used by the thin compatibility wrappers.
+_default_engine: MeasurementEngine | None = None
+_default_engine_lock = threading.Lock()
+
+
+def default_engine() -> MeasurementEngine:
+    """The shared engine behind :func:`repro.core.measurement.run_measurement`."""
+    global _default_engine
+    if _default_engine is None:
+        with _default_engine_lock:
+            if _default_engine is None:
+                _default_engine = MeasurementEngine()
+    return _default_engine

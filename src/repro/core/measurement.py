@@ -13,122 +13,47 @@ and TCP allow. Each second ``j``:
 
 The slot's capacity estimate is ``z = median(z_1 .. z_t)``. Sampled echo
 cells are verified continuously; a failed check aborts the slot early.
+
+Execution lives in :mod:`repro.core.engine`: :func:`run_measurement` is a
+thin compatibility wrapper that builds a :class:`MeasurementSpec` and hands
+it to the shared :class:`MeasurementEngine`, which precomputes per-
+assignment invariants and batches the per-second supply computation. The
+measurement dataclasses and helpers are re-exported here for callers that
+predate the engine.
 """
 
 from __future__ import annotations
 
-import statistics
-from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.core.allocation import MeasurerAssignment, total_allocated
+from repro.core.allocation import MeasurerAssignment
+from repro.core.engine import (
+    DEFAULT_RTT_SECONDS,
+    MeasurementNoise,
+    MeasurementOutcome,
+    MeasurementSpec,
+    clamp_background,
+    default_engine,
+)
+from repro.core.measurer import (
+    MEASURER_OVERHEAD_FREE_SOCKETS,
+    MEASURER_OVERHEAD_PER_SOCKET,
+    measurer_socket_efficiency,
+)
 from repro.core.params import FlashFlowParams
-from repro.core.verification import EchoVerifier
-from repro.errors import MeasurementFailure, VerificationFailure
-from repro.netsim.latency import NetworkModel, Path, internet_loss_for_rtt
-from repro.netsim.socketbuf import KernelConfig
-from repro.netsim.tcp import tcp_rate_cap
-from repro.rng import fork
+from repro.netsim.latency import NetworkModel
 from repro.tornet.relay import Relay
-from repro.units import bits_to_bytes
 
-#: Median Internet RTT used when no explicit topology is given
-#: (the tmodel dataset median the paper cites in Appendix D).
-DEFAULT_RTT_SECONDS = 0.118
-
-#: Measurer-side socket-management overhead: beyond this per-measurer
-#: socket count, capacity fades (the post-peak decline of paper Fig 14).
-MEASURER_OVERHEAD_FREE_SOCKETS = 60
-MEASURER_OVERHEAD_PER_SOCKET = 0.0008
-
-
-def measurer_socket_efficiency(n_sockets: int) -> float:
-    """Fraction of a measurer's capacity left after socket bookkeeping."""
-    excess = max(0, n_sockets - MEASURER_OVERHEAD_FREE_SOCKETS)
-    return 1.0 / (1.0 + MEASURER_OVERHEAD_PER_SOCKET * excess)
-
-
-@dataclass(frozen=True)
-class MeasurementNoise:
-    """Stochastic environment knobs for a measurement.
-
-    ``target_env_mean``/``target_env_std`` model cross-traffic and
-    time-of-day variation at the target host over a whole measurement;
-    per-second relay jitter lives in :class:`repro.tornet.relay.Relay`.
-    The defaults reproduce the paper's Figure 6 spread (95% of
-    measurements within 11% of ground truth) on dedicated Internet hosts;
-    the Shadow experiments use a lower mean (shared congested topology).
-    """
-
-    target_env_mean: float = 1.0
-    target_env_std: float = 0.035
-    target_env_min: float = 0.85
-    target_env_max: float = 1.03
-    #: Per-second multiplicative noise on each measurer's supply.
-    supply_noise_std: float = 0.03
-
-
-@dataclass
-class MeasurementOutcome:
-    """Result of one measurement slot."""
-
-    #: Capacity estimate z = median(z_j), bit/s. Zero if the slot failed.
-    estimate: float
-    #: Per-second measurement traffic x_j, bit/s.
-    per_second_measurement: list[float] = field(default_factory=list)
-    #: Per-second normal traffic as reported by the relay (bit/s).
-    per_second_background_reported: list[float] = field(default_factory=list)
-    #: Per-second normal traffic after the r-ratio clamp (bit/s).
-    per_second_background_clamped: list[float] = field(default_factory=list)
-    #: Per-second totals z_j (bit/s).
-    per_second_total: list[float] = field(default_factory=list)
-    #: Sum of the a_i allocated for this slot (bit/s).
-    total_allocated: float = 0.0
-    duration: int = 0
-    failed: bool = False
-    failure_reason: str | None = None
-    cells_checked: int = 0
-
-    def estimate_with_duration(self, seconds: int) -> float:
-        """Re-aggregate as if the slot had lasted only ``seconds``.
-
-        Used by the Appendix E.3 duration-strategy analysis: a 60-second
-        run can be truncated to emulate 10/20/30-second median strategies.
-        """
-        if seconds <= 0:
-            raise ValueError("duration must be positive")
-        if not self.per_second_total:
-            return 0.0
-        window = self.per_second_total[: min(seconds, len(self.per_second_total))]
-        return float(statistics.median(window))
-
-
-def clamp_background(x_bits: float, y_bits: float, ratio: float) -> float:
-    """The BWAuth's normal-traffic clamp: y <= x * r / (1 - r) (§4.1)."""
-    if ratio >= 1:
-        raise ValueError("ratio must be < 1")
-    if ratio <= 0:
-        return 0.0
-    return min(y_bits, x_bits * ratio / (1.0 - ratio))
-
-
-def _resolve_path(
-    network: NetworkModel | None,
-    measurer_host: str,
-    target_location: str | None,
-    default_rtt: float,
-) -> Path:
-    if network is not None and target_location is not None:
-        try:
-            return network.path(measurer_host, target_location)
-        except Exception:
-            pass
-    return Path(
-        src=measurer_host,
-        dst=target_location or "target",
-        rtt_seconds=default_rtt,
-        loss=internet_loss_for_rtt(default_rtt),
-    )
+__all__ = [
+    "DEFAULT_RTT_SECONDS",
+    "MEASURER_OVERHEAD_FREE_SOCKETS",
+    "MEASURER_OVERHEAD_PER_SOCKET",
+    "MeasurementNoise",
+    "MeasurementOutcome",
+    "clamp_background",
+    "measurer_socket_efficiency",
+    "run_measurement",
+]
 
 
 def run_measurement(
@@ -148,133 +73,21 @@ def run_measurement(
     default_rtt: float = DEFAULT_RTT_SECONDS,
 ) -> MeasurementOutcome:
     """Run one measurement slot of ``target`` by the assigned team."""
-    params = params or FlashFlowParams()
-    noise = noise or MeasurementNoise()
-    duration = params.slot_seconds if duration is None else duration
-    rng = fork(seed, f"measurement-{bwauth_id}-{target.fingerprint}-{period_index}")
-
-    active = [a for a in assignments if a.participates]
-    if not active:
-        raise MeasurementFailure(
-            "no measurer allocated any capacity", target.fingerprint
+    return default_engine().run(
+        MeasurementSpec(
+            target=target,
+            assignments=assignments,
+            params=params,
+            network=network,
+            target_location=target_location,
+            background_demand=background_demand,
+            duration=duration,
+            seed=seed,
+            bwauth_id=bwauth_id,
+            period_index=period_index,
+            verify=verify,
+            enforce_admission=enforce_admission,
+            noise=noise,
+            default_rtt=default_rtt,
         )
-
-    if enforce_admission and not target.accept_measurement(bwauth_id, period_index):
-        return MeasurementOutcome(
-            estimate=0.0,
-            total_allocated=total_allocated(assignments),
-            failed=True,
-            failure_reason="relay refused: already measured this period",
-        )
-
-    # --- Per-measurement setup -------------------------------------------
-    n_team = len(active)
-    socket_share = max(1, params.n_sockets // n_team)
-    target_kernel = (
-        target.host.kernel if target.host is not None else KernelConfig.default()
-    )
-    env = min(
-        noise.target_env_max,
-        max(
-            noise.target_env_min,
-            rng.gauss(noise.target_env_mean, noise.target_env_std),
-        ),
-    )
-
-    setups = []
-    for a in active:
-        path = _resolve_path(
-            network, a.measurer.host.name, target_location, default_rtt
-        )
-        quality = (
-            network.sample_path_quality(rng)
-            if network is not None
-            else max(0.45, min(1.0, rng.gauss(0.92, 0.10)))
-        )
-        setups.append((a, path, quality))
-
-    verifier = (
-        EchoVerifier(params.p_check, fork(seed, f"verify-{target.fingerprint}"))
-        if verify
-        else None
-    )
-
-    bg_of = (
-        background_demand
-        if callable(background_demand)
-        else (lambda _t, v=float(background_demand): v)
-    )
-
-    xs: list[float] = []
-    ys_raw: list[float] = []
-    ys_clamped: list[float] = []
-    zs: list[float] = []
-    cells_checked = 0
-
-    # --- Per-second loop --------------------------------------------------
-    for second in range(duration):
-        supply_total = 0.0
-        for a, path, quality in setups:
-            per_socket = tcp_rate_cap(
-                path,
-                a.measurer.host.kernel,
-                target_kernel,
-                age_seconds=float(second),
-            )
-            socket_cap = per_socket * socket_share * quality
-            per_second = max(0.3, rng.gauss(1.0, noise.supply_noise_std))
-            # a_i is enforced by the processes' BandwidthRate; socket_cap
-            # by TCP; the measurer's own link by its capacity; managing
-            # many sockets costs measurer CPU.
-            supply_total += (
-                min(a.allocated, socket_cap, a.measurer.host.link_capacity)
-                * measurer_socket_efficiency(socket_share)
-                * per_second
-            )
-
-        report = target.measured_second(
-            measurement_supply_bits=supply_total,
-            background_demand_bits=bg_of(second),
-            ratio_r=params.ratio,
-            n_measurement_sockets=params.n_sockets,
-            external_factor=env,
-        )
-        x_bits = report.measurement_bytes * 8.0
-        y_bits = report.background_reported_bytes * 8.0
-        y_clamped = clamp_background(x_bits, y_bits, params.ratio)
-
-        xs.append(x_bits)
-        ys_raw.append(y_bits)
-        ys_clamped.append(y_clamped)
-        zs.append(x_bits + y_clamped)
-
-        if verifier is not None:
-            try:
-                cells_checked += verifier.verify_second(
-                    target, bits_to_bytes(x_bits)
-                )
-            except VerificationFailure as failure:
-                # The BWAuth ends the measurement early (paper §4.1).
-                return MeasurementOutcome(
-                    estimate=0.0,
-                    per_second_measurement=xs,
-                    per_second_background_reported=ys_raw,
-                    per_second_background_clamped=ys_clamped,
-                    per_second_total=zs,
-                    total_allocated=total_allocated(assignments),
-                    duration=second + 1,
-                    failed=True,
-                    failure_reason=str(failure),
-                    cells_checked=verifier.cells_checked,
-                )
-
-    return MeasurementOutcome(
-        estimate=float(statistics.median(zs)),
-        per_second_measurement=xs,
-        per_second_background_reported=ys_raw,
-        per_second_background_clamped=ys_clamped,
-        per_second_total=zs,
-        total_allocated=total_allocated(assignments),
-        duration=duration,
-        cells_checked=cells_checked,
     )

@@ -21,6 +21,17 @@ from repro.errors import ConfigurationError
 from repro.netsim.hosts import Host
 from repro.tornet.tokenbucket import TokenBucket
 
+#: Measurer-side socket-management overhead: beyond this per-measurer
+#: socket count, capacity fades (the post-peak decline of paper Fig 14).
+MEASURER_OVERHEAD_FREE_SOCKETS = 60
+MEASURER_OVERHEAD_PER_SOCKET = 0.0008
+
+
+def measurer_socket_efficiency(n_sockets: int) -> float:
+    """Fraction of a measurer's capacity left after socket bookkeeping."""
+    excess = max(0, n_sockets - MEASURER_OVERHEAD_FREE_SOCKETS)
+    return 1.0 / (1.0 + MEASURER_OVERHEAD_PER_SOCKET * excess)
+
 
 @dataclass
 class MeasuringProcess:

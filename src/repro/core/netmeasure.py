@@ -1,14 +1,31 @@
 """Full-network measurement campaigns (paper §4.3, §7).
 
-Runs one BWAuth's measurement of an entire network: relays are packed into
-t-second slots greedily (largest first, the paper's efficiency scheduler),
-measured concurrently within a slot using committed measurer capacity, and
-re-queued with a doubled estimate when a measurement is inconclusive.
+Runs one BWAuth's measurement of an entire network. Each campaign
+*round* packs every waiting relay into consecutive t-second slots
+greedily (largest first, the paper's efficiency scheduler); all
+measurements of the round -- within a slot and across the round's
+independent slots -- are then executed concurrently by the
+:class:`repro.core.engine.MeasurementEngine` (``run_many``), whose
+per-measurement forked RNG streams make the results bit-identical to
+serial execution regardless of worker count. Outcomes are folded back in
+deterministic slot order; inconclusive relays re-enter the next round
+with a doubled estimate.
+
+Retries are *round-granular*: an inconclusive relay is re-measured after
+the current round's remaining slots rather than squeezed into the next
+slot's residual capacity (the pre-engine serial loop's behaviour). This
+is what makes a round's slots mutually independent and concurrently
+executable; the cost is that a campaign with retries may occupy a few
+more slots, and per-measurement seeds (slot-index derived) shift for
+retried relays. Estimates remain draws from the same distribution, and
+for a fixed worker count the whole campaign is deterministic.
 
 ``full_simulation=False`` skips the per-second traffic loop and applies
-the protocol's accept/retry logic against an analytic measurement model;
-it is used by the scheduling-efficiency benches where only slot counts
-matter.
+the protocol's accept/retry logic against the engine's analytic
+measurement model (:meth:`MeasurementEngine.analytic_estimate`); it is
+used by the scheduling-efficiency benches where only slot counts matter.
+The analytic wobble factors are pre-drawn serially in slot order, so the
+analytic path is equally worker-count independent.
 """
 
 from __future__ import annotations
@@ -17,17 +34,23 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.core.allocation import allocate_capacity, total_allocated
+from repro.core.allocation import MeasurerAssignment, allocate_capacity, total_allocated
 from repro.core.bwauth import FlashFlowAuthority
-from repro.core.measurement import MeasurementNoise, run_measurement
+from repro.core.engine import MeasurementEngine, MeasurementNoise, MeasurementSpec
 from repro.rng import fork
 from repro.tornet.network import TorNetwork
+from repro.tornet.relay import Relay
 
 
 @dataclass
 class CampaignResult:
     """Outcome of measuring a whole network once."""
 
+    #: Slot duration of the schedule that produced this campaign; always
+    #: populated from the authority's ``FlashFlowParams`` so
+    #: ``seconds_elapsed``/``hours_elapsed`` cannot silently disagree
+    #: with the schedule actually used.
+    slot_seconds: int
     #: Accepted capacity estimates, bit/s.
     estimates: dict[str, float] = field(default_factory=dict)
     #: Relays that never produced an accepted estimate.
@@ -36,7 +59,6 @@ class CampaignResult:
     slots_elapsed: int = 0
     #: Individual measurements run (retries included).
     measurements_run: int = 0
-    slot_seconds: int = 30
 
     @property
     def seconds_elapsed(self) -> int:
@@ -45,6 +67,22 @@ class CampaignResult:
     @property
     def hours_elapsed(self) -> float:
         return self.seconds_elapsed / 3600.0
+
+
+@dataclass
+class _Job:
+    """One scheduled measurement of a campaign round."""
+
+    fingerprint: str
+    z0: float
+    rounds: int
+    slot_index: int
+    relay: Relay
+    capped: bool
+    assignments: list[MeasurerAssignment]
+    background: float | Callable[[int], float]
+    #: Pre-drawn analytic measurement-error factor (analytic mode only).
+    wobble: float | None = None
 
 
 def measure_network(
@@ -56,6 +94,8 @@ def measure_network(
     full_simulation: bool = True,
     noise: MeasurementNoise | None = None,
     analytic_error_std: float = 0.02,
+    max_workers: int | None = None,
+    engine: MeasurementEngine | None = None,
 ) -> CampaignResult:
     """Measure every relay in ``network`` once (one measurement period).
 
@@ -65,6 +105,9 @@ def measure_network(
     (paper §4.3 priority). ``background_demand`` may be a constant, a
     callable of time, or a per-fingerprint dict (bit/s of client traffic
     present at each relay during its measurement).
+
+    ``max_workers`` caps the engine's concurrency (``None`` = engine
+    default, ``1`` = serial); the estimates are identical either way.
     """
     params = authority.params
     team = authority.team
@@ -72,6 +115,8 @@ def measure_network(
     prior = prior_estimates or {}
     result = CampaignResult(slot_seconds=params.slot_seconds)
     rng = fork(authority.seed, "campaign-analytic")
+    if engine is None:
+        engine = getattr(authority, "engine", None) or MeasurementEngine()
 
     old = [fp for fp in network.relays if fp in prior]
     new = [fp for fp in network.relays if fp not in prior]
@@ -83,76 +128,110 @@ def measure_network(
         + [(fp, params.new_relay_seed, 0) for fp in new]
     )
 
+    def required_for(z0: float) -> float:
+        return min(params.allocation_factor * max(z0, 1.0), team_capacity)
+
     slot_index = 0
     while queue:
-        residual = team_capacity
-        this_slot: list[tuple[str, float, int]] = []
-        deferred: deque[tuple[str, float, int]] = deque()
-        while queue:
-            fp, z0, rounds = queue.popleft()
-            required = min(params.allocation_factor * max(z0, 1.0), team_capacity)
-            if required <= residual + 1e-6:
-                this_slot.append((fp, z0, rounds))
-                residual -= required
-            else:
-                deferred.append((fp, z0, rounds))
-        if not this_slot:
-            # Should be unreachable: required is capped at team capacity.
-            fp, z0, rounds = deferred.popleft()
-            this_slot.append((fp, z0, rounds))
-
-        for fp, z0, rounds in this_slot:
-            relay = network[fp]
-            required = min(params.allocation_factor * max(z0, 1.0), team_capacity)
-            capped = required < params.allocation_factor * z0
-            assignments = allocate_capacity(team, required)
-            for a in assignments:
-                a.measurer.commit(a.allocated)
-            if isinstance(background_demand, dict):
-                relay_background = background_demand.get(fp, 0.0)
-            else:
-                relay_background = background_demand
-            try:
-                if full_simulation:
-                    outcome = run_measurement(
-                        target=relay,
-                        assignments=assignments,
-                        params=params,
-                        network=authority.network,
-                        background_demand=relay_background,
-                        seed=authority.seed + slot_index * 7919 + rounds,
-                        bwauth_id=authority.name,
-                        period_index=0,
-                        enforce_admission=False,
-                        noise=noise,
-                    )
-                    z = outcome.estimate
-                    failed = outcome.failed
-                    reason = outcome.failure_reason
+        # --- Pack the whole waiting queue into consecutive slots -------
+        # Every queued relay is independent of the others' outcomes, so a
+        # round's slots can all be planned up front and run concurrently.
+        jobs: list[_Job] = []
+        waiting = queue
+        while waiting:
+            residual = team_capacity
+            this_slot: list[tuple[str, float, int]] = []
+            deferred: deque[tuple[str, float, int]] = deque()
+            while waiting:
+                fp, z0, rounds = waiting.popleft()
+                if required_for(z0) <= residual + 1e-6:
+                    this_slot.append((fp, z0, rounds))
+                    residual -= required_for(z0)
                 else:
-                    supply = total_allocated(assignments) / params.multiplier
-                    wobble = max(0.8, rng.gauss(1.0, analytic_error_std))
-                    z = min(relay.true_capacity * wobble, supply)
-                    failed, reason = False, None
-            finally:
-                for a in assignments:
-                    a.measurer.release(a.allocated)
+                    deferred.append((fp, z0, rounds))
+            if not this_slot:
+                # Should be unreachable: required is capped at team capacity.
+                this_slot.append(deferred.popleft())
 
+            for fp, z0, rounds in this_slot:
+                required = required_for(z0)
+                jobs.append(
+                    _Job(
+                        fingerprint=fp,
+                        z0=z0,
+                        rounds=rounds,
+                        slot_index=slot_index,
+                        relay=network[fp],
+                        capped=required < params.allocation_factor * z0,
+                        assignments=allocate_capacity(team, required),
+                        background=(
+                            background_demand.get(fp, 0.0)
+                            if isinstance(background_demand, dict)
+                            else background_demand
+                        ),
+                        wobble=(
+                            None
+                            if full_simulation
+                            else max(0.8, rng.gauss(1.0, analytic_error_std))
+                        ),
+                    )
+                )
+            slot_index += 1
+            waiting = deferred
+
+        # --- Execute the round ----------------------------------------
+        if full_simulation:
+            specs = [
+                MeasurementSpec(
+                    target=job.relay,
+                    assignments=job.assignments,
+                    params=params,
+                    network=authority.network,
+                    background_demand=job.background,
+                    seed=authority.seed + job.slot_index * 7919 + job.rounds,
+                    bwauth_id=authority.name,
+                    period_index=0,
+                    enforce_admission=False,
+                    noise=noise,
+                )
+                for job in jobs
+            ]
+            outcomes = engine.run_many(specs, max_workers=max_workers)
+            results = [
+                (o.estimate, o.failed, o.failure_reason) for o in outcomes
+            ]
+        else:
+            results = [
+                (
+                    engine.analytic_estimate(
+                        job.relay, job.assignments, params, job.wobble
+                    ),
+                    False,
+                    None,
+                )
+                for job in jobs
+            ]
+
+        # --- Fold outcomes back in deterministic slot order -----------
+        retries: deque[tuple[str, float, int]] = deque()
+        for job, (z, failed, reason) in zip(jobs, results):
             result.measurements_run += 1
             if failed:
-                result.failures[fp] = reason or "measurement failed"
+                result.failures[job.fingerprint] = reason or "measurement failed"
                 continue
-            threshold = params.acceptance_threshold(total_allocated(assignments))
-            if z < threshold or capped:
-                result.estimates[fp] = z
-                authority.estimates[fp] = z
-            elif rounds + 1 >= max_rounds:
-                result.failures[fp] = "did not converge"
+            threshold = params.acceptance_threshold(
+                total_allocated(job.assignments)
+            )
+            if z < threshold or job.capped:
+                result.estimates[job.fingerprint] = z
+                authority.estimates[job.fingerprint] = z
+            elif job.rounds + 1 >= max_rounds:
+                result.failures[job.fingerprint] = "did not converge"
             else:
-                deferred.append((fp, max(z, 2.0 * z0), rounds + 1))
-
-        queue = deferred
-        slot_index += 1
+                retries.append(
+                    (job.fingerprint, max(z, 2.0 * job.z0), job.rounds + 1)
+                )
+        queue = retries
 
     result.slots_elapsed = slot_index
     return result

@@ -19,8 +19,11 @@ network can be measured.
 
 from __future__ import annotations
 
+import bisect
 import random
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.core.params import FlashFlowParams
 from repro.errors import ScheduleError
@@ -49,6 +52,12 @@ class PeriodSchedule:
     def __post_init__(self) -> None:
         if self.team_capacity <= 0:
             raise ScheduleError("team capacity must be positive")
+        # Dense mirror of ``slot_load`` for vectorised feasibility scans;
+        # loads are accumulated exactly like the dict (same float adds).
+        self._loads = np.zeros(self.n_slots, dtype=float)
+        for slot, load in self.slot_load.items():
+            if 0 <= slot < self._loads.size:
+                self._loads[slot] = load
 
     @property
     def n_slots(self) -> int:
@@ -72,6 +81,8 @@ class PeriodSchedule:
             self.slot_load.get(assignment.slot, 0.0)
             + assignment.required_capacity
         )
+        if 0 <= assignment.slot < self._loads.size:
+            self._loads[assignment.slot] = self.slot_load[assignment.slot]
 
     @classmethod
     def build(
@@ -97,17 +108,19 @@ class PeriodSchedule:
                 params.allocation_factor * max(estimates[fingerprint], 1.0),
                 team_capacity,
             )
-            feasible = [
-                slot
-                for slot in range(schedule.n_slots)
-                if schedule.residual(slot) + 1e-6 >= required
-            ]
-            if not feasible:
+            # Vectorised feasibility scan over all slots; elementwise this
+            # is the same ``residual(slot) + 1e-6 >= required`` test, and
+            # rng.choice draws exactly one value either way, keeping the
+            # schedule identical to the per-slot Python loop.
+            feasible = np.flatnonzero(
+                (team_capacity - schedule._loads) + 1e-6 >= required
+            )
+            if feasible.size == 0:
                 raise ScheduleError(
                     f"no slot can hold {fingerprint} "
                     f"(needs {required:.0f} bit/s)"
                 )
-            slot = rng.choice(feasible)
+            slot = int(rng.choice(feasible))
             schedule._place(
                 SlotAssignment(
                     fingerprint=fingerprint,
@@ -127,16 +140,19 @@ class PeriodSchedule:
         required = min(
             self.params.allocation_factor * max(z0, 1.0), self.team_capacity
         )
-        for slot in range(earliest_slot, self.n_slots):
-            if self.residual(slot) + 1e-6 >= required:
-                assignment = SlotAssignment(
-                    fingerprint=fingerprint,
-                    slot=slot,
-                    required_capacity=required,
-                    is_new=True,
-                )
-                self._place(assignment)
-                return assignment
+        earliest_slot = max(0, earliest_slot)
+        window = self._loads[earliest_slot:]
+        fits = (self.team_capacity - window) + 1e-6 >= required
+        if fits.any():
+            slot = earliest_slot + int(np.argmax(fits))
+            assignment = SlotAssignment(
+                fingerprint=fingerprint,
+                slot=slot,
+                required_capacity=required,
+                is_new=True,
+            )
+            self._place(assignment)
+            return assignment
         raise ScheduleError(
             f"no remaining slot can hold new relay {fingerprint}"
         )
@@ -167,30 +183,38 @@ def greedy_pack_slots(
     "We greedily assign relays to each slot in order, with each assignment
     choosing the largest relay for which there is available capacity to
     measure." Returns the list of slots, each a list of fingerprints.
+
+    Implemented with a bisect on the (sorted) requirement list rather
+    than a full rescan of the remaining relays per slot: "largest relay
+    that still fits" is the rightmost entry at or below the residual.
+    This packs the July-2019-scale networks of the §7 efficiency benches
+    in milliseconds while producing exactly the slots the linear rescan
+    would (same greedy order, same float arithmetic).
     """
-    remaining = sorted(
-        estimates, key=lambda fp: estimates[fp], reverse=True
-    )
+    # Ascending by requirement; ties keep the descending-capacity scan
+    # order of the original linear pass (stable sort + reversal).
+    asc = sorted(estimates, key=lambda fp: estimates[fp], reverse=True)[::-1]
     required = {
         fp: min(params.allocation_factor * max(estimates[fp], 1.0),
                 team_capacity)
         for fp in estimates
     }
+    keys = [required[fp] for fp in asc]
     slots: list[list[str]] = []
-    while remaining:
+    while asc:
         residual = team_capacity
         slot: list[str] = []
-        still_remaining: list[str] = []
-        for fp in remaining:
-            if required[fp] <= residual + 1e-6:
-                slot.append(fp)
-                residual -= required[fp]
-            else:
-                still_remaining.append(fp)
+        while True:
+            index = bisect.bisect_right(keys, residual + 1e-6) - 1
+            if index < 0:
+                break
+            fp = asc.pop(index)
+            keys.pop(index)
+            slot.append(fp)
+            residual -= required[fp]
         if not slot:
             raise ScheduleError(
                 "a relay requires more than the whole team capacity"
             )
         slots.append(slot)
-        remaining = still_remaining
     return slots

@@ -19,10 +19,17 @@ records the transcript so tests (and audits) can replay and verify it.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
-from repro.core.allocation import MeasurerAssignment
-from repro.core.measurement import MeasurementOutcome
+from repro.core.allocation import MeasurerAssignment, total_allocated
+from repro.core.engine import (
+    MeasurementEngine,
+    MeasurementOutcome,
+    MeasurementSpec,
+    default_engine,
+    socket_share_for,
+)
+from repro.core.params import FlashFlowParams
 from repro.core.messages import (
     MessageChannel,
     MessageType,
@@ -182,6 +189,55 @@ class MeasurementSession:
                 "seconds": outcome.duration,
             },
         )
+
+    # ------------------------------------------------------------------
+    # Engine-driven execution (paper §4.1, end to end)
+    # ------------------------------------------------------------------
+
+    def run_measurement(
+        self,
+        spec: MeasurementSpec,
+        engine: MeasurementEngine | None = None,
+    ) -> MeasurementOutcome:
+        """Run one measurement with full protocol choreography.
+
+        Drives the signed message flow (ANNOUNCE / ACCEPT / INSTRUCT /
+        per-second reports / END) around an engine execution: the engine
+        feeds each second's per-measurer received bytes and the relay's
+        report back into this session's transcript, so the result is a
+        complete, verifiable log of the measurement that produced the
+        returned outcome.
+        """
+        engine = engine or default_engine()
+        params = spec.params or engine.params or FlashFlowParams()
+        target = spec.target
+
+        self.announce()
+        accepted = not spec.enforce_admission or target.accept_measurement(
+            spec.bwauth_id, spec.period_index
+        )
+        self.relay_accept(accepted)
+        if not accepted:
+            outcome = MeasurementOutcome(
+                estimate=0.0,
+                total_allocated=total_allocated(list(spec.assignments)),
+                failed=True,
+                failure_reason="relay refused: already measured this period",
+            )
+            self.end(outcome)
+            return outcome
+
+        active = [a for a in spec.assignments if a.participates]
+        if active:
+            self.instruct(
+                list(spec.assignments), socket_share_for(params, len(active))
+            )
+        # Admission was already negotiated over this session's channel.
+        outcome = engine.run(
+            replace(spec, enforce_admission=False, session=self)
+        )
+        self.end(outcome)
+        return outcome
 
     # ------------------------------------------------------------------
     # Audit

@@ -67,14 +67,18 @@ def slow_start_rate_cap(path: Path, age_seconds: float) -> float:
     return window_bytes * 8.0 / path.rtt_seconds
 
 
-def tcp_rate_cap(
+def steady_rate_cap(
     path: Path,
     sender_kernel: KernelConfig,
     receiver_kernel: KernelConfig,
-    age_seconds: float = 60.0,
     app_limit: float = float("inf"),
 ) -> float:
-    """Per-connection achievable rate (bit/s), before link sharing."""
+    """The age-independent rate cap: window, Mathis, and app limits.
+
+    This is a connection invariant -- everything in
+    :func:`tcp_rate_cap` except the slow-start ramp -- so batched
+    engines can compute it once per connection.
+    """
     window_cap = sender_kernel.window_rate_cap(receiver_kernel, path.rtt_seconds)
     boost = (
         LOSS_RECOVERY_BOOST
@@ -84,9 +88,52 @@ def tcp_rate_cap(
     return min(
         window_cap,
         mathis_rate_cap(path, recovery_boost=boost),
-        slow_start_rate_cap(path, age_seconds),
         app_limit,
     )
+
+
+def tcp_rate_cap(
+    path: Path,
+    sender_kernel: KernelConfig,
+    receiver_kernel: KernelConfig,
+    age_seconds: float = 60.0,
+    app_limit: float = float("inf"),
+) -> float:
+    """Per-connection achievable rate (bit/s), before link sharing."""
+    return min(
+        steady_rate_cap(path, sender_kernel, receiver_kernel, app_limit),
+        slow_start_rate_cap(path, age_seconds),
+    )
+
+
+def tcp_ramp_profile(
+    path: Path,
+    sender_kernel: KernelConfig,
+    receiver_kernel: KernelConfig,
+    seconds: int,
+    app_limit: float = float("inf"),
+) -> list[float]:
+    """Per-second rate caps for a connection's first ``seconds`` of life.
+
+    Equivalent to ``[tcp_rate_cap(path, snd, rcv, age_seconds=float(s))
+    for s in range(seconds)]`` but computed incrementally: the window and
+    Mathis caps are connection invariants, so only the slow-start ramp is
+    evaluated per second -- and only until it stops being the binding
+    limit, after which the cap is constant. This is the precomputation
+    step batched measurement engines rely on.
+    """
+    if seconds <= 0:
+        return []
+    steady = steady_rate_cap(path, sender_kernel, receiver_kernel, app_limit)
+    caps = []
+    for second in range(seconds):
+        ramp = slow_start_rate_cap(path, float(second))
+        caps.append(min(steady, ramp))
+        if ramp >= steady:
+            # Slow start is monotone in age: it never binds again.
+            caps.extend([steady] * (seconds - second - 1))
+            break
+    return caps
 
 
 @dataclass

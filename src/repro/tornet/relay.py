@@ -97,10 +97,18 @@ class Relay:
         self._bucket: TokenBucket | None = None
         if self.rate_limit is not None:
             self._bucket = TokenBucket(rate=self.rate_limit / 8.0)
-        self._rng: random.Random = fork(self.seed, f"relay-{self.fingerprint}")
+        # Forked lazily on first draw: campaign-scale networks create tens
+        # of thousands of relays, most never measured in a given bench.
+        self._lazy_rng: random.Random | None = None
         #: (bwauth_id, period_index) pairs already measured; the relay only
         #: accepts one measurement per BWAuth per period (paper §4.1).
         self._measured_in: set[tuple[str, int]] = set()
+
+    @property
+    def _rng(self) -> random.Random:
+        if self._lazy_rng is None:
+            self._lazy_rng = fork(self.seed, f"relay-{self.fingerprint}")
+        return self._lazy_rng
 
     # ------------------------------------------------------------------
     # Construction helpers

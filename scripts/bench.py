@@ -1,0 +1,283 @@
+#!/usr/bin/env python
+"""Kernel benchmark runner: fixed-seed campaign benches, machine-readable.
+
+Times the slowest measurement-campaign workloads (the Figure 6 accuracy
+grid, the Figure 15/16 multiplier sweep, and a whole-network campaign)
+on every kernel backend plus the PR 1 stateful engine path, verifies all
+paths produce bit-identical estimates, and writes
+``benchmarks/results/BENCH_kernel.json`` so future PRs have a recorded
+perf trajectory.
+
+The ``pr1_engine`` row re-times the PR 1 execution path (a serial
+``MeasurementEngine.run`` loop -- exactly what ``run_measurement`` did
+before the kernel) on the same machine and seeds, so speedups are
+apples-to-apples. ``process`` parallelism scales with ``cpu_count``;
+the recorded value documents the machine it ran on.
+
+Usage: PYTHONPATH=src python scripts/bench.py [--repeats N] [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro import quick_team  # noqa: E402
+from repro.core.allocation import allocate_evenly  # noqa: E402
+from repro.core.engine import MeasurementEngine, MeasurementSpec  # noqa: E402
+from repro.core.measurer import Measurer  # noqa: E402
+from repro.core.netmeasure import measure_network  # noqa: E402
+from repro.core.params import FlashFlowParams  # noqa: E402
+from repro.errors import AllocationError  # noqa: E402
+from repro.netsim.latency import NetworkModel  # noqa: E402
+from repro.rng import seed_from  # noqa: E402
+from repro.tornet.cpu import CpuModel  # noqa: E402
+from repro.tornet.network import synthesize_network  # noqa: E402
+from repro.tornet.relay import Relay  # noqa: E402
+from repro.units import mbit  # noqa: E402
+
+DEFAULT_OUTPUT = (
+    pathlib.Path(__file__).resolve().parents[1]
+    / "benchmarks" / "results" / "BENCH_kernel.json"
+)
+BACKENDS = ("serial", "thread", "process", "vector")
+
+#: Ground-truth Tor capacity of US-SW per configured limit (§6.1, E.2) --
+#: the same grid the fig06/fig15 pytest benches sweep.
+GROUND_TRUTH = {
+    10: mbit(9.58),
+    250: mbit(239),
+    500: mbit(494),
+    750: mbit(741),
+    0: mbit(890),
+}
+MEASURERS = ("US-NW", "US-E", "IN", "NL")
+
+
+def _target(limit: int, tag: str, seed: int, model: NetworkModel) -> Relay:
+    relay = Relay(
+        fingerprint=f"{tag}-{limit}-{seed}",
+        host=model.host("US-SW"),
+        cpu=CpuModel(max_forward_bits=mbit(890)),
+        seed=seed,
+    )
+    if limit:
+        relay.set_rate_limit(GROUND_TRUTH[limit])
+    return relay
+
+
+def fig06_specs(repetitions: int = 7, seed: int = 3) -> list[MeasurementSpec]:
+    """The Figure 6 accuracy grid as independent specs (30 s slots)."""
+    params = FlashFlowParams()
+    model = NetworkModel.paper_internet(seed=seed)
+    specs = []
+    for limit, truth in GROUND_TRUTH.items():
+        required = params.allocation_factor * truth
+        for size in range(1, len(MEASURERS) + 1):
+            for subset in itertools.combinations(MEASURERS, size):
+                team = [Measurer(name=n, host=model.host(n)) for n in subset]
+                if sum(m.capacity for m in team) < required:
+                    continue
+                if any(required / len(team) > m.capacity for m in team):
+                    continue
+                for rep in range(repetitions):
+                    specs.append(
+                        MeasurementSpec(
+                            target=_target(
+                                limit, "us-sw", rep * 31 + size, model
+                            ),
+                            assignments=allocate_evenly(team, required),
+                            params=params,
+                            network=model,
+                            target_location="US-SW",
+                            seed=seed + rep * 1009
+                            + seed_from(0, "-".join(subset)) % 997,
+                            enforce_admission=False,
+                        )
+                    )
+    return specs
+
+
+def fig15_specs(duration: int = 60, seed: int = 15) -> list[MeasurementSpec]:
+    """The Figure 15/16 multiplier sweep as independent specs (60 s)."""
+    model = NetworkModel.paper_internet(seed=seed)
+    specs = []
+    for multiplier in (1.5, 1.75, 2.0, 2.25, 2.5):
+        params = FlashFlowParams(multiplier=multiplier, slot_seconds=duration)
+        for limit, truth in GROUND_TRUTH.items():
+            required = multiplier * truth
+            for size in (1, 2, 3, 4):
+                for subset in itertools.combinations(MEASURERS, size):
+                    team = [
+                        Measurer(name=n, host=model.host(n)) for n in subset
+                    ]
+                    if sum(m.capacity for m in team) < required:
+                        continue
+                    try:
+                        assignments = allocate_evenly(team, required)
+                    except AllocationError:
+                        continue
+                    specs.append(
+                        MeasurementSpec(
+                            target=_target(
+                                limit, f"t-{multiplier}", limit + size, model
+                            ),
+                            assignments=assignments,
+                            params=params,
+                            network=model,
+                            target_location="US-SW",
+                            seed=seed + seed_from(
+                                0, f"{multiplier}-{limit}-{'-'.join(subset)}"
+                            ) % 10000,
+                            enforce_admission=False,
+                        )
+                    )
+    return specs
+
+
+def _time_spec_campaign(make_specs, mode: str, repeats: int):
+    """Best-of-N wall time for one execution path over a spec campaign.
+
+    Specs (and their stateful relays) are rebuilt for every timed run so
+    each path starts from identical state.
+    """
+    best, signature, count = float("inf"), None, 0
+    for _ in range(repeats):
+        specs = make_specs()
+        engine = MeasurementEngine()
+        start = time.perf_counter()
+        if mode == "pr1_engine":
+            outcomes = [engine.run(spec) for spec in specs]
+        else:
+            outcomes = engine.run_many(specs, backend=mode)
+        best = min(best, time.perf_counter() - start)
+        signature = sum(o.estimate for o in outcomes)
+        count = len(outcomes)
+    return best, signature, count
+
+
+def _time_network_campaign(mode: str, repeats: int, n_relays: int = 200):
+    """Best-of-N wall time for a whole-network campaign."""
+    best, signature, count = float("inf"), None, 0
+    for _ in range(repeats):
+        network = synthesize_network(n_relays=n_relays, seed=71)
+        authority = quick_team(seed=72)
+        engine = MeasurementEngine()
+        backend = None
+        if mode == "pr1_engine":
+            # PR 1's serial campaign path executed each round's specs as
+            # a stateful engine.run loop; reproduce it exactly.
+            engine.run_many = (
+                lambda specs, max_workers=None, backend=None: [
+                    engine.run(spec) for spec in specs
+                ]
+            )
+        else:
+            backend = mode
+        start = time.perf_counter()
+        result = measure_network(
+            network, authority, full_simulation=True,
+            engine=engine, backend=backend,
+        )
+        best = min(best, time.perf_counter() - start)
+        signature = sum(result.estimates.values())
+        count = result.measurements_run
+    return best, signature, count
+
+
+BENCHES = {
+    "fig06_campaign": {
+        "describe": "Figure 6 accuracy grid, 30 s slots",
+        "timer": lambda mode, repeats: _time_spec_campaign(
+            fig06_specs, mode, repeats
+        ),
+        "slot_seconds": 30,
+    },
+    "fig15_campaign": {
+        "describe": "Figure 15/16 multiplier sweep, 60 s slots",
+        "timer": lambda mode, repeats: _time_spec_campaign(
+            fig15_specs, mode, repeats
+        ),
+        "slot_seconds": 60,
+    },
+    "network_campaign_200": {
+        "describe": "Whole-network campaign, 200 synthesized relays",
+        "timer": _time_network_campaign,
+        "slot_seconds": 30,
+    },
+}
+
+
+def run_benches(repeats: int) -> dict:
+    # Warm the process pool (fork + import cost is a one-time constant,
+    # not part of any campaign's steady-state cost).
+    MeasurementEngine().run_many(fig06_specs(repetitions=1)[:16], backend="process")
+
+    report = {
+        "schema": "flashflow-bench-kernel/1",
+        "generated_unix": int(time.time()),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "repeats": repeats,
+        "benches": {},
+    }
+    for name, bench in BENCHES.items():
+        rows: dict[str, float] = {}
+        signatures = {}
+        count = 0
+        for mode in ("pr1_engine",) + BACKENDS:
+            seconds, signature, count = bench["timer"](mode, repeats)
+            rows[mode] = round(seconds, 4)
+            signatures[mode] = signature
+            print(f"{name:22s} {mode:11s} {seconds:8.3f}s  ({count} measurements)")
+        identical = len({repr(s) for s in signatures.values()}) == 1
+        entry = {
+            "describe": bench["describe"],
+            "measurements": count,
+            "slot_seconds": bench["slot_seconds"],
+            "seconds": rows,
+            "speedup_vs_pr1": {
+                mode: round(rows["pr1_engine"] / rows[mode], 2)
+                for mode in BACKENDS
+            },
+            "speedup_process_vs_serial": round(
+                rows["serial"] / rows["process"], 2
+            ),
+            "identical_estimates": identical,
+        }
+        if not identical:  # pragma: no cover - a correctness regression
+            raise SystemExit(
+                f"{name}: execution paths disagree on estimates: {signatures}"
+            )
+        report["benches"][name] = entry
+    return report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repetitions per path (best-of-N)")
+    parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args()
+
+    report = run_benches(args.repeats)
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    for name, entry in report["benches"].items():
+        print(
+            f"  {name}: process {entry['speedup_process_vs_serial']}x vs serial, "
+            f"vector {entry['speedup_vs_pr1']['vector']}x vs PR 1 engine"
+        )
+
+
+if __name__ == "__main__":
+    main()

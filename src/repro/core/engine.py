@@ -19,8 +19,14 @@ Both phases consume the measurement's forked RNG stream
 (:func:`repro.rng.fork`) in exactly the order the historical serial loop
 did, so estimates are bit-identical to pre-engine results, and
 :meth:`MeasurementEngine.run_many` can execute independent measurements
-concurrently (``concurrent.futures``) with any worker count while
-producing the same bits as serial execution.
+concurrently with any worker count while producing the same bits as
+serial execution. Batches of independent specs are lowered by
+:mod:`repro.kernel` into picklable compiled measurements whose honest-
+relay per-second walk runs as numpy array arithmetic on a pluggable
+backend (``serial``/``thread``/``process``/``vector``); the stateful
+per-second path below (:meth:`MeasurementEngine.execute`) remains the
+reference semantics and the fallback for adversarial relay behaviours
+and transcript sessions.
 
 The engine also hosts the **analytic fast path**
 (:meth:`MeasurementEngine.analytic_estimate`) used by campaign code that
@@ -35,7 +41,6 @@ from __future__ import annotations
 import os
 import statistics
 import threading
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -126,6 +131,34 @@ def socket_share_for(params: FlashFlowParams, n_active: int) -> int:
     return max(1, params.n_sockets // n_active)
 
 
+def assignment_caps(
+    path: Path,
+    sender_kernel,
+    target_kernel,
+    duration: int,
+    allocated: float,
+    link_capacity: float,
+    socket_share: int,
+    quality: float,
+    efficiency: float,
+) -> list[float]:
+    """One assignment's effective per-second supply caps.
+
+    min(a_i, TCP ramp cap * sockets * quality, link) * socket efficiency
+    -- everything about the assignment that does not change with the
+    per-second noise draw. Pure (no RNG, no shared state): the kernel
+    backends recompute it from picklable inputs in worker processes, and
+    :meth:`MeasurementEngine.prepare` uses the same code in-process, so
+    both paths produce bit-identical caps.
+    """
+    ramp = tcp_ramp_profile(path, sender_kernel, target_kernel, duration)
+    return [
+        min(allocated, per_socket * socket_share * quality, link_capacity)
+        * efficiency
+        for per_socket in ramp
+    ]
+
+
 def _resolve_path(
     network: NetworkModel | None,
     measurer_host: str,
@@ -184,6 +217,33 @@ class _AssignmentProfile:
     #: quality, link) * socket efficiency -- everything but the
     #: per-second noise draw.
     caps: list[float]
+
+
+@dataclass
+class _PlanInputs:
+    """The stochastic half of a prepared measurement.
+
+    Everything that must be resolved *in order* on the measurement's
+    forked RNG stream (environment factor, per-assignment path
+    qualities) plus the admission decision -- and nothing that is pure
+    computation. The kernel compiler consumes these directly so the
+    heavy pure half (TCP ramp profiles) can run in worker processes.
+    """
+
+    spec: MeasurementSpec
+    params: FlashFlowParams
+    noise: MeasurementNoise
+    duration: int
+    rng: object
+    env: float
+    socket_share: int
+    efficiency: float
+    target_kernel: KernelConfig
+    #: (assignment, resolved path, drawn quality) per active assignment.
+    entries: list[tuple[MeasurerAssignment, Path, float]]
+    total_allocated: float
+    #: Early result (admission refusal); skips execution entirely.
+    outcome: MeasurementOutcome | None = None
 
 
 @dataclass
@@ -255,12 +315,14 @@ class MeasurementEngine:
     # Prepare: per-measurement invariants
     # ------------------------------------------------------------------
 
-    def prepare(self, spec: MeasurementSpec) -> _Plan:
-        """Resolve the spec and precompute all per-assignment invariants.
+    def prepare_inputs(self, spec: MeasurementSpec) -> _PlanInputs:
+        """Resolve the spec's stochastic half.
 
         RNG draws happen in the exact order of the historical serial
         loop's setup phase: environment factor first, then one path
-        quality per participating assignment.
+        quality per participating assignment. No pure computation (TCP
+        ramps) happens here -- that is :meth:`finish_plan` (in-process)
+        or a kernel backend (possibly in a worker process).
         """
         params = spec.params or self.params or FlashFlowParams()
         noise = spec.noise or self.noise or MeasurementNoise()
@@ -282,13 +344,16 @@ class MeasurementEngine:
                 "no measurer allocated any capacity", target.fingerprint
             )
 
+        target_kernel = (
+            target.host.kernel if target.host is not None else KernelConfig.default()
+        )
         if spec.enforce_admission and not target.accept_measurement(
             spec.bwauth_id, spec.period_index
         ):
-            return _Plan(
+            return _PlanInputs(
                 spec=spec, params=params, noise=noise, duration=duration,
-                rng=rng, env=1.0, profiles=[], verifier=None,
-                bg_of=lambda _t: 0.0,
+                rng=rng, env=1.0, socket_share=1, efficiency=1.0,
+                target_kernel=target_kernel, entries=[],
                 total_allocated=total_allocated(list(spec.assignments)),
                 outcome=MeasurementOutcome(
                     estimate=0.0,
@@ -299,9 +364,6 @@ class MeasurementEngine:
             )
 
         socket_share = socket_share_for(params, len(active))
-        target_kernel = (
-            target.host.kernel if target.host is not None else KernelConfig.default()
-        )
         env = min(
             noise.target_env_max,
             max(
@@ -311,7 +373,7 @@ class MeasurementEngine:
         )
 
         efficiency = measurer_socket_efficiency(socket_share)
-        profiles = []
+        entries = []
         for a in active:
             path = _resolve_path(
                 network, a.measurer.host.name, spec.target_location, default_rtt
@@ -321,24 +383,50 @@ class MeasurementEngine:
                 if network is not None
                 else max(0.45, min(1.0, rng.gauss(0.92, 0.10)))
             )
-            ramp = tcp_ramp_profile(
-                path, a.measurer.host.kernel, target_kernel, duration
+            entries.append((a, path, quality))
+
+        return _PlanInputs(
+            spec=spec, params=params, noise=noise, duration=duration,
+            rng=rng, env=env, socket_share=socket_share,
+            efficiency=efficiency, target_kernel=target_kernel,
+            entries=entries,
+            total_allocated=total_allocated(list(spec.assignments)),
+        )
+
+    def finish_plan(self, inputs: _PlanInputs) -> _Plan:
+        """Do the pure half of preparation: ramps, caps, verifier."""
+        spec = inputs.spec
+        if inputs.outcome is not None:
+            return _Plan(
+                spec=spec, params=inputs.params, noise=inputs.noise,
+                duration=inputs.duration, rng=inputs.rng, env=inputs.env,
+                profiles=[], verifier=None, bg_of=lambda _t: 0.0,
+                total_allocated=inputs.total_allocated,
+                outcome=inputs.outcome,
             )
-            link = a.measurer.host.link_capacity
+
+        profiles = []
+        for a, path, quality in inputs.entries:
             # a_i is enforced by the processes' BandwidthRate; the TCP cap
             # by the path; the measurer's own link by its capacity;
             # managing many sockets costs measurer CPU.
-            caps = [
-                min(a.allocated, per_socket * socket_share * quality, link)
-                * efficiency
-                for per_socket in ramp
-            ]
+            caps = assignment_caps(
+                path,
+                a.measurer.host.kernel,
+                inputs.target_kernel,
+                inputs.duration,
+                a.allocated,
+                a.measurer.host.link_capacity,
+                inputs.socket_share,
+                quality,
+                inputs.efficiency,
+            )
             profiles.append(_AssignmentProfile(assignment=a, caps=caps))
 
         verifier = (
             EchoVerifier(
-                params.p_check,
-                fork(spec.seed, f"verify-{target.fingerprint}"),
+                inputs.params.p_check,
+                fork(spec.seed, f"verify-{spec.target.fingerprint}"),
                 key=self._verifier_key(),
             )
             if spec.verify
@@ -353,11 +441,15 @@ class MeasurementEngine:
         )
 
         return _Plan(
-            spec=spec, params=params, noise=noise, duration=duration,
-            rng=rng, env=env, profiles=profiles, verifier=verifier,
-            bg_of=bg_of,
-            total_allocated=total_allocated(list(spec.assignments)),
+            spec=spec, params=inputs.params, noise=inputs.noise,
+            duration=inputs.duration, rng=inputs.rng, env=inputs.env,
+            profiles=profiles, verifier=verifier, bg_of=bg_of,
+            total_allocated=inputs.total_allocated,
         )
+
+    def prepare(self, spec: MeasurementSpec) -> _Plan:
+        """Resolve the spec and precompute all per-assignment invariants."""
+        return self.finish_plan(self.prepare_inputs(spec))
 
     # ------------------------------------------------------------------
     # Execute: batched per-second walk
@@ -480,15 +572,27 @@ class MeasurementEngine:
         self,
         specs: Sequence[MeasurementSpec],
         max_workers: int | None = None,
+        backend: str | None = None,
     ) -> list[MeasurementOutcome]:
-        """Run independent measurements concurrently.
+        """Run independent measurements through the kernel.
 
         Every spec's randomness comes from its own forked stream (seed +
         per-measurement label) and every stateful object (target relay,
-        verifier) is per-spec, so any worker count -- including 1 --
-        produces bit-identical outcomes in spec order. Specs sharing a
-        target relay fall back to serial execution: the relay's token
-        bucket and RNG are stateful and draw in slot order.
+        verifier) is per-spec, so any backend and worker count --
+        including 1 -- produces bit-identical outcomes in spec order.
+
+        Specs are lowered to picklable :class:`repro.kernel.compile.\
+CompiledMeasurement` objects and executed by a kernel backend
+        (``serial``/``thread``/``process``/``vector``; see
+        :mod:`repro.kernel.backends`). ``backend`` overrides the
+        ``FlashFlowParams.kernel_backend`` / ``FLASHFLOW_KERNEL_BACKEND``
+        selection. Specs the kernel cannot compile (adversarial relay
+        behaviours, transcript sessions) run on the stateful
+        :meth:`run` path, still in deterministic spec order.
+
+        Specs sharing a target relay fall back to serial stateful
+        execution entirely: the relay's token bucket and RNG are stateful
+        and draw in slot order.
         """
         specs = list(specs)
         if max_workers is None:
@@ -496,10 +600,13 @@ class MeasurementEngine:
         if max_workers is None:
             max_workers = min(32, (os.cpu_count() or 1) + 4)
         distinct_targets = len({id(s.target) for s in specs})
-        if max_workers <= 1 or len(specs) <= 1 or distinct_targets < len(specs):
+        if len(specs) <= 1 or distinct_targets < len(specs):
             return [self.run(spec) for spec in specs]
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            return list(pool.map(self.run, specs))
+        from repro.kernel import run_specs
+
+        return run_specs(
+            self, specs, backend=backend, max_workers=max_workers
+        )
 
     # ------------------------------------------------------------------
     # Analytic fast path (subsumes the old full_simulation=False branch)

@@ -5,11 +5,14 @@ Runs one BWAuth's measurement of an entire network. Each campaign
 greedily (largest first, the paper's efficiency scheduler); all
 measurements of the round -- within a slot and across the round's
 independent slots -- are then executed concurrently by the
-:class:`repro.core.engine.MeasurementEngine` (``run_many``), whose
-per-measurement forked RNG streams make the results bit-identical to
-serial execution regardless of worker count. Outcomes are folded back in
-deterministic slot order; inconclusive relays re-enter the next round
-with a doubled estimate.
+:class:`repro.core.engine.MeasurementEngine` (``run_many``), which
+lowers the round onto the vectorized measurement kernel
+(:mod:`repro.kernel`: compiled per-second capacity series walked as
+numpy arrays on a ``serial``/``thread``/``process``/``vector`` backend).
+Per-measurement forked RNG streams make the results bit-identical to
+serial stateful execution regardless of backend or worker count.
+Outcomes are folded back in deterministic slot order; inconclusive
+relays re-enter the next round with a doubled estimate.
 
 Retries are *round-granular*: an inconclusive relay is re-measured after
 the current round's remaining slots rather than squeezed into the next
@@ -96,6 +99,7 @@ def measure_network(
     analytic_error_std: float = 0.02,
     max_workers: int | None = None,
     engine: MeasurementEngine | None = None,
+    backend: str | None = None,
 ) -> CampaignResult:
     """Measure every relay in ``network`` once (one measurement period).
 
@@ -107,7 +111,10 @@ def measure_network(
     present at each relay during its measurement).
 
     ``max_workers`` caps the engine's concurrency (``None`` = engine
-    default, ``1`` = serial); the estimates are identical either way.
+    default, ``1`` = serial); ``backend`` selects the kernel execution
+    backend (``serial``/``thread``/``process``/``vector``; ``None``
+    defers to params/environment). The estimates are identical for every
+    backend and worker count.
     """
     params = authority.params
     team = authority.team
@@ -196,7 +203,9 @@ def measure_network(
                 )
                 for job in jobs
             ]
-            outcomes = engine.run_many(specs, max_workers=max_workers)
+            outcomes = engine.run_many(
+                specs, max_workers=max_workers, backend=backend
+            )
             results = [
                 (o.estimate, o.failed, o.failure_reason) for o in outcomes
             ]

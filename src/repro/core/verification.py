@@ -15,6 +15,7 @@ the security analysis benches.
 
 from __future__ import annotations
 
+import math
 import os
 import random
 
@@ -37,6 +38,34 @@ def detection_probability(p_check: float, forged_cells: int) -> float:
     if forged_cells < 0:
         raise ValueError("forged cell count cannot be negative")
     return 1.0 - (1.0 - p_check) ** forged_cells
+
+
+def sample_cell_count(
+    rng: random.Random, cells_sent: int, p_check: float
+) -> int:
+    """How many of ``cells_sent`` cells get recorded for checking.
+
+    Binomial(n, p) with tiny p, sampled via Poisson inversion (normal
+    approximation above expected 50). Module-level so the vectorized
+    measurement kernel (:mod:`repro.kernel.supply`) can replay the exact
+    draw sequence of :meth:`EchoVerifier.sample_count` outside a verifier
+    instance.
+    """
+    if cells_sent <= 0:
+        return 0
+    expected = cells_sent * p_check
+    # Poisson via inversion; expected is ~2.5 even at 1 Gbit/s.
+    if expected > 50:
+        return max(0, round(rng.gauss(expected, expected ** 0.5)))
+    threshold = rng.random()
+    term = math.exp(-expected)
+    cumulative = term
+    k = 0
+    while cumulative < threshold and k < cells_sent:
+        k += 1
+        term *= expected / k
+        cumulative += term
+    return k
 
 
 class EchoVerifier:
@@ -62,23 +91,7 @@ class EchoVerifier:
         approximation guard for large n (p is tiny, so a Poisson draw is
         appropriate and cheap).
         """
-        if cells_sent <= 0:
-            return 0
-        expected = cells_sent * self.p_check
-        # Poisson via inversion; expected is ~2.5 even at 1 Gbit/s.
-        if expected > 50:
-            return max(0, round(self._rng.gauss(expected, expected ** 0.5)))
-        total, threshold = 0, self._rng.random()
-        import math
-
-        cumulative, term = 0.0, math.exp(-expected)
-        k = 0
-        cumulative = term
-        while cumulative < threshold and k < cells_sent:
-            k += 1
-            term *= expected / k
-            cumulative += term
-        return k
+        return sample_cell_count(self._rng, cells_sent, self.p_check)
 
     def check_cells(self, relay: Relay, n_cells: int, circ_id: int = 1) -> int:
         """Send ``n_cells`` sampled cells through the relay and verify.

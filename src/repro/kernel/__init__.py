@@ -1,0 +1,109 @@
+"""The vectorized measurement kernel (compile -> supply -> backends).
+
+This package is the execution layer beneath
+:meth:`repro.core.engine.MeasurementEngine.run_many`:
+
+- :mod:`repro.kernel.compile` lowers a measurement spec plus the
+  engine's prepared inputs into a picklable
+  :class:`~repro.kernel.compile.CompiledMeasurement` -- all RNG draws
+  performed up front in stateful order, everything else pure;
+- :mod:`repro.kernel.supply` executes compiled measurements as
+  vectorized numpy array walks, bit-identical to the stateful
+  :meth:`Relay.measured_second` path;
+- :mod:`repro.kernel.backends` schedules the walks on a pluggable
+  backend (``serial``/``thread``/``process``/``vector``).
+
+Specs the kernel cannot compile -- adversarial relay behaviours,
+transcript sessions -- fall back to the engine's stateful ``run`` path,
+preserving exact semantics for every spec.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.kernel.backends import (
+    BACKEND_ENV_VAR,
+    KernelBackend,
+    backend_names,
+    get_backend,
+    register_backend,
+    resolve_backend_name,
+)
+from repro.kernel.compile import (
+    CompiledAssignment,
+    CompiledMeasurement,
+    compile_measurement,
+    is_compilable,
+)
+from repro.kernel.supply import KernelResult, execute_batch, execute_compiled
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "CompiledAssignment",
+    "CompiledMeasurement",
+    "KernelBackend",
+    "KernelResult",
+    "backend_names",
+    "compile_measurement",
+    "execute_batch",
+    "execute_compiled",
+    "get_backend",
+    "is_compilable",
+    "register_backend",
+    "resolve_backend_name",
+    "run_specs",
+]
+
+
+def run_specs(
+    engine,
+    specs: Sequence,
+    backend: str | None = None,
+    max_workers: int | None = None,
+):
+    """Run independent measurement specs through the kernel.
+
+    Compiles every compilable spec (in spec order -- compilation consumes
+    relay RNG/admission state exactly where the stateful path would),
+    executes the compiled batch on the selected backend, runs the
+    fallback specs on the engine's stateful path, settles relay state
+    deltas, and returns outcomes in spec order.
+
+    The backend is a batch-level choice: the explicit ``backend``
+    argument, else the *first* spec's params (``kernel_backend`` on
+    later specs in a mixed batch is not consulted), else the engine's
+    params, the environment, and finally ``auto``. Results are
+    bit-identical for every backend, so this only selects scheduling.
+    """
+    specs = list(specs)
+    compiled: list[CompiledMeasurement] = []
+    fallback_indices: list[int] = []
+    for index, spec in enumerate(specs):
+        cm = compile_measurement(engine, spec, index=index)
+        if cm is None:
+            fallback_indices.append(index)
+        else:
+            compiled.append(cm)
+
+    results = [None] * len(specs)
+    for index in fallback_indices:
+        results[index] = engine.run(specs[index])
+
+    if compiled:
+        first = specs[0]
+        params = first.params or engine.params
+        name = resolve_backend_name(
+            backend, params.kernel_backend if params is not None else None
+        )
+        kernel_results = get_backend(name).run(
+            compiled, max_workers=max_workers
+        )
+        for result in kernel_results:
+            spec = specs[result.index]
+            if result.total_bytes.size:
+                spec.target.settle_measured_walk(
+                    result.total_bytes.tolist(), result.final_bucket_tokens
+                )
+            results[result.index] = result.to_outcome()
+    return results

@@ -1,0 +1,206 @@
+"""Pluggable execution backends for compiled measurements.
+
+A backend takes a list of picklable
+:class:`repro.kernel.compile.CompiledMeasurement` and returns one
+:class:`repro.kernel.supply.KernelResult` per input, in input order.
+Because compiled execution is pure, **every backend produces bit-
+identical results**; backends differ only in how the work is scheduled:
+
+- ``serial``  -- one measurement at a time, in the calling thread (the
+  baseline granularity: each measurement is its own array walk).
+- ``thread``  -- a ``ThreadPoolExecutor`` over *chunks*, each chunk one
+  vectorized batch walk (numpy releases the GIL for the array ops).
+- ``process`` -- a persistent ``ProcessPoolExecutor`` over chunks of the
+  picklable compiled measurements; each worker executes its chunk as one
+  vectorized batch walk. Real parallel speedup for campaign-scale
+  batches: workers recompute the heavy pure half (TCP ramps, the array
+  walk, verification crypto) outside the parent's GIL, and even a single
+  worker beats ``serial`` by batching its chunks.
+- ``vector``  -- the whole batch as one vectorized numpy array walk
+  (:func:`repro.kernel.supply.execute_batch`); the fastest in-process
+  option and the ``auto`` default.
+
+Selection order: explicit ``backend=`` argument, then
+``FlashFlowParams.kernel_backend``, then the ``FLASHFLOW_KERNEL_BACKEND``
+environment variable, then ``auto``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.kernel.compile import CompiledMeasurement
+from repro.kernel.supply import KernelResult, execute_batch, execute_compiled
+
+#: Environment variable consulted when params leave the backend unset.
+BACKEND_ENV_VAR = "FLASHFLOW_KERNEL_BACKEND"
+
+#: Fewest measurements worth batching into one chunk: below this the
+#: per-chunk dispatch/pickle overhead outweighs the vectorization win.
+MIN_CHUNK = 8
+
+
+def _chunks(
+    compiled: Sequence[CompiledMeasurement], workers: int
+) -> list[list[CompiledMeasurement]]:
+    """Split a batch into contiguous chunks for a worker pool.
+
+    With several workers, ~4 chunks per worker balances load against
+    vectorization width; a single worker gets the whole batch as one
+    chunk (splitting would only add dispatch round trips). Chunks never
+    shrink below :data:`MIN_CHUNK`.
+    """
+    n = len(compiled)
+    n_chunks = workers * 4 if workers > 1 else 1
+    target = max(MIN_CHUNK, -(-n // n_chunks))
+    return [list(compiled[i : i + target]) for i in range(0, n, target)]
+
+
+class KernelBackend:
+    """Base class: executes compiled measurements, returns results in order."""
+
+    name = "base"
+
+    def run(
+        self,
+        compiled: Sequence[CompiledMeasurement],
+        max_workers: int | None = None,
+    ) -> list[KernelResult]:
+        raise NotImplementedError
+
+
+class SerialBackend(KernelBackend):
+    """One measurement at a time in the calling thread."""
+
+    name = "serial"
+
+    def run(self, compiled, max_workers=None):
+        return [execute_compiled(cm) for cm in compiled]
+
+
+class VectorBackend(KernelBackend):
+    """The whole batch as one vectorized array walk (the auto default)."""
+
+    name = "vector"
+
+    def run(self, compiled, max_workers=None):
+        return execute_batch(compiled)
+
+
+class ThreadBackend(KernelBackend):
+    """A thread pool over chunked vectorized walks."""
+
+    name = "thread"
+
+    def run(self, compiled, max_workers=None):
+        workers = max_workers or min(32, (os.cpu_count() or 1) + 4)
+        if workers <= 1 or len(compiled) <= 1:
+            return execute_batch(compiled)
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            chunk_results = pool.map(execute_batch, _chunks(compiled, workers))
+        return [result for chunk in chunk_results for result in chunk]
+
+
+class ProcessBackend(KernelBackend):
+    """A persistent process pool over per-measurement walks.
+
+    The pool is created lazily and kept for the life of the program
+    (campaigns call ``run_many`` once per round; respawning workers each
+    round would dominate the round's wall time). Results are
+    deterministic regardless of worker count: each compiled measurement
+    executes purely and ``map`` restores input order.
+    """
+
+    name = "process"
+
+    def __init__(self) -> None:
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_workers = 0
+        atexit.register(self.shutdown)
+
+    def _get_pool(self, workers: int) -> ProcessPoolExecutor:
+        if self._pool is None or self._pool_workers != workers:
+            self.shutdown()
+            self._pool = ProcessPoolExecutor(max_workers=workers)
+            self._pool_workers = workers
+        return self._pool
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+            self._pool_workers = 0
+
+    def run(self, compiled, max_workers=None):
+        # The walks are CPU-bound: more worker processes than cores only
+        # adds interpreter memory and context switches (the engine's
+        # cpu+4 default is sized for its historical thread pool).
+        cpus = os.cpu_count() or 1
+        workers = max(1, min(max_workers or cpus, cpus, 32))
+        if len(compiled) <= 1:
+            return execute_batch(compiled)
+        chunks = _chunks(compiled, workers)
+        try:
+            chunk_results = list(
+                self._get_pool(workers).map(execute_batch, chunks)
+            )
+        except BrokenProcessPool:
+            # A worker died (OOM kill, signal). The executor is
+            # permanently broken; rebuild it once and retry -- compiled
+            # measurements are pure, so re-execution is safe.
+            self.shutdown()
+            chunk_results = list(
+                self._get_pool(workers).map(execute_batch, chunks)
+            )
+        return [result for chunk in chunk_results for result in chunk]
+
+
+_BACKENDS: dict[str, KernelBackend] = {}
+
+
+def register_backend(backend: KernelBackend) -> KernelBackend:
+    """Add a backend instance to the registry (name taken from the class)."""
+    _BACKENDS[backend.name] = backend
+    return backend
+
+
+register_backend(SerialBackend())
+register_backend(VectorBackend())
+register_backend(ThreadBackend())
+register_backend(ProcessBackend())
+
+
+def backend_names() -> list[str]:
+    """Registered backend names (for docs/CLIs)."""
+    return sorted(_BACKENDS)
+
+
+def resolve_backend_name(
+    explicit: str | None = None, params_backend: str | None = None
+) -> str:
+    """Apply the selection order; ``auto`` resolves to ``vector``."""
+    name = (
+        explicit
+        or params_backend
+        or os.environ.get(BACKEND_ENV_VAR)
+        or "auto"
+    )
+    if name == "auto":
+        name = VectorBackend.name
+    return name
+
+
+def get_backend(name: str) -> KernelBackend:
+    """Look up a backend by name; raises with the known names listed."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown kernel backend {name!r}; "
+            f"known backends: {', '.join(backend_names())}"
+        ) from None

@@ -1,0 +1,267 @@
+"""The vectorized per-second measurement walk.
+
+:func:`execute_batch` runs a whole round of compiled measurements as one
+numpy array walk: at each second, capacity (token-bucket availability
+under the KIST/CPU/link base cap, times jitter and environment),
+measurement/background split via the ratio-r clamp, bucket settlement,
+and the BWAuth-side clamp are elementwise float64 operations across all
+measurements at once. Every operation mirrors the exact arithmetic of
+:meth:`repro.tornet.relay.Relay.measured_second` +
+:meth:`repro.core.engine.MeasurementEngine.execute`, in the same order,
+so each element of the walk is bit-identical to the stateful path.
+
+Echo-cell verification is replayed afterwards from the walk's
+measurement series: the per-second sample counts consume the
+measurement's ``verify-*`` RNG stream exactly as
+:class:`repro.core.verification.EchoVerifier` would, and each sampled
+cell performs the honest encrypt/echo/compare round trip with the real
+circuit key, so ``cells_checked`` (and the simulated crypto work) match
+the stateful path. Honest relays by construction never fail the check.
+
+The walk returns, besides the outcome, the relay-state deltas (final
+bucket tokens, per-second forwarded bytes) the caller settles back onto
+the live relay via :meth:`Relay.settle_measured_walk` -- this is what
+lets the walk itself run in a worker process.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import statistics
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.engine import MeasurementOutcome
+from repro.core.verification import sample_cell_count
+from repro.kernel.compile import CompiledMeasurement
+from repro.tornet.cell import PAYLOAD_LEN
+from repro.tornet.relaycrypto import CircuitKey
+from repro.tornet.tokenbucket import available_second_array, take_second_array
+from repro.units import CELL_LEN, bits_to_bytes
+
+#: One CircuitKey per distinct key bytes per process: keeps the keystream
+#: block cache warm across measurements (cell indices restart at zero
+#: every slot, so later slots verify almost entirely from cache).
+_KEY_CACHE: dict[bytes, CircuitKey] = {}
+
+
+def _circuit_key(key_bytes: bytes) -> CircuitKey:
+    key = _KEY_CACHE.get(key_bytes)
+    if key is None:
+        key = CircuitKey(key_bytes)
+        if len(_KEY_CACHE) > 64:
+            _KEY_CACHE.clear()
+        _KEY_CACHE[key_bytes] = key
+    return key
+
+
+_EMPTY = np.zeros(0)
+
+
+@dataclass
+class KernelResult:
+    """Result of one compiled measurement plus relay-state deltas.
+
+    Per-second series stay numpy arrays end to end -- array buffers
+    pickle an order of magnitude faster than lists of Python floats,
+    which matters for the ``process`` backend's result path --and are
+    materialised into a :class:`MeasurementOutcome` by
+    :meth:`to_outcome` on the consuming side.
+    """
+
+    index: int
+    estimate: float = 0.0
+    cells_checked: int = 0
+    duration: int = 0
+    total_allocated: float = 0.0
+    #: Per-second series (bit/s): measurement x_j, reported background,
+    #: clamped background, totals z_j, and relay capacity (the
+    #: SecondReport.capacity_bits oracle series).
+    measurement: np.ndarray = field(default_factory=lambda: _EMPTY)
+    background_reported: np.ndarray = field(default_factory=lambda: _EMPTY)
+    background_clamped: np.ndarray = field(default_factory=lambda: _EMPTY)
+    totals: np.ndarray = field(default_factory=lambda: _EMPTY)
+    capacity_bits: np.ndarray = field(default_factory=lambda: _EMPTY)
+    #: Bytes the relay forwarded each second (observed-bandwidth
+    #: settlement).
+    total_bytes: np.ndarray = field(default_factory=lambda: _EMPTY)
+    #: Final token-bucket fill (bytes); None when the relay is unlimited
+    #: or the measurement never executed (admission refusal).
+    final_bucket_tokens: float | None = None
+    #: Pass-through outcome (admission refusal): no walk was executed.
+    outcome: MeasurementOutcome | None = None
+
+    def to_outcome(self) -> MeasurementOutcome:
+        """Materialise the walk into the engine's outcome type."""
+        if self.outcome is not None:
+            return self.outcome
+        return MeasurementOutcome(
+            estimate=self.estimate,
+            per_second_measurement=self.measurement.tolist(),
+            per_second_background_reported=self.background_reported.tolist(),
+            per_second_background_clamped=self.background_clamped.tolist(),
+            per_second_total=self.totals.tolist(),
+            total_allocated=self.total_allocated,
+            duration=self.duration,
+            cells_checked=self.cells_checked,
+        )
+
+
+def _verify_replay(
+    cm: CompiledMeasurement, measurement_bits: Sequence[float]
+) -> int:
+    """Replay per-second echo-cell verification; returns cells checked.
+
+    Consumes the ``verify-*`` stream exactly like
+    ``EchoVerifier.verify_second`` + ``check_cells``: one sample-count
+    draw sequence per second, then the relay-side decryption per sampled
+    cell. An honest relay's echo is *defined* as the local decryption,
+    so the measurer-side comparison would compare the decryption against
+    itself; the replay performs the decryption work once and counts the
+    cell as checked -- same cells checked, no possible failure (which is
+    why only honest relays compile; anything else runs the stateful
+    :class:`EchoVerifier` path).
+    """
+    if cm.p_check is None:
+        return 0
+    rng = random.Random(cm.verify_seed)
+    key = _circuit_key(cm.key_bytes)
+    cells_checked = 0
+    next_cell_index = 0
+    for x_bits in list(measurement_bits):
+        cells_sent = int(bits_to_bytes(x_bits) // CELL_LEN)
+        count = sample_cell_count(rng, cells_sent, cm.p_check)
+        for _ in range(count):
+            key.process(os.urandom(PAYLOAD_LEN), next_cell_index)
+            cells_checked += 1
+            next_cell_index += 1
+    return cells_checked
+
+
+def _walk_group(
+    cms: list[CompiledMeasurement], duration: int
+) -> list[KernelResult]:
+    """Walk same-duration measurements as one vectorized array walk."""
+    n = len(cms)
+    supply = np.stack([cm.supply_series() for cm in cms])
+    bg_demand = np.stack([cm.background for cm in cms])
+    noise_env = np.stack([cm.noise_env for cm in cms])
+    base = np.array([cm.base_capacity for cm in cms], dtype=np.float64)
+    ratio = np.array([cm.ratio for cm in cms], dtype=np.float64)
+    one_minus_r = 1.0 - ratio
+    has_bucket = np.array([cm.bucket is not None for cm in cms])
+    any_bucket = bool(has_bucket.any())
+    tokens = np.array(
+        [cm.bucket[0] if cm.bucket else 0.0 for cm in cms], dtype=np.float64
+    )
+    rate = np.array(
+        [cm.bucket[1] if cm.bucket else 0.0 for cm in cms], dtype=np.float64
+    )
+    burst = np.array(
+        [cm.bucket[2] if cm.bucket else 0.0 for cm in cms], dtype=np.float64
+    )
+
+    xs = np.empty((n, duration))
+    ys_raw = np.empty((n, duration))
+    ys_clamped = np.empty((n, duration))
+    zs = np.empty((n, duration))
+    caps_out = np.empty((n, duration))
+    total_bytes = np.empty((n, duration))
+
+    for second in range(duration):
+        # Relay.measured_second: capacity = min(base, bucket peek), then
+        # *= noise * external_factor.
+        if any_bucket:
+            avail_bits = available_second_array(tokens, rate) * 8.0
+            capacity = np.where(
+                has_bucket, np.minimum(base, avail_bits), base
+            )
+        else:
+            capacity = base
+        capacity = capacity * noise_env[:, second]
+
+        # Honest ratio-r split (the enforces_ratio() branch).
+        demand = bg_demand[:, second]
+        background = np.minimum(demand, ratio * capacity)
+        measurement = np.minimum(supply[:, second], capacity - background)
+        background = np.minimum(
+            background, measurement * ratio / one_minus_r
+        )
+        measurement = np.minimum(supply[:, second], capacity - background)
+
+        total_bits = measurement + background
+        if any_bucket:
+            _, new_tokens = take_second_array(
+                tokens, rate, burst, total_bits / 8.0
+            )
+            tokens = np.where(has_bucket, new_tokens, tokens)
+
+        # Engine-side accounting: byte round trips and the BWAuth clamp,
+        # op for op (the /8*8 chains are exact in IEEE-754 but are kept
+        # anyway so every intermediate matches the stateful path).
+        meas_bytes = measurement / 8.0
+        reported_bytes = ((background / 8.0) * 8.0) / 8.0
+        x_bits = meas_bytes * 8.0
+        y_bits = reported_bytes * 8.0
+        y_clamped = np.minimum(y_bits, x_bits * ratio / one_minus_r)
+
+        xs[:, second] = x_bits
+        ys_raw[:, second] = y_bits
+        ys_clamped[:, second] = y_clamped
+        zs[:, second] = x_bits + y_clamped
+        caps_out[:, second] = capacity
+        total_bytes[:, second] = total_bits / 8.0
+
+    results = []
+    for i, cm in enumerate(cms):
+        results.append(
+            KernelResult(
+                index=cm.index,
+                estimate=float(statistics.median(zs[i].tolist())),
+                cells_checked=_verify_replay(cm, xs[i]),
+                duration=duration,
+                total_allocated=cm.total_allocated,
+                measurement=xs[i],
+                background_reported=ys_raw[i],
+                background_clamped=ys_clamped[i],
+                totals=zs[i],
+                capacity_bits=caps_out[i],
+                total_bytes=total_bytes[i],
+                final_bucket_tokens=(
+                    float(tokens[i]) if cm.bucket is not None else None
+                ),
+            )
+        )
+    return results
+
+
+def execute_batch(
+    compiled: Sequence[CompiledMeasurement],
+) -> list[KernelResult]:
+    """Execute compiled measurements as vectorized array walks.
+
+    Measurements are grouped by duration (one array walk per group);
+    results come back in input order. Admission refusals pass their
+    compiled-in outcome through without executing.
+    """
+    results: dict[int, KernelResult] = {}
+    groups: dict[int, list[CompiledMeasurement]] = {}
+    order: list[int] = []
+    for cm in compiled:
+        order.append(cm.index)
+        if cm.outcome is not None:
+            results[cm.index] = KernelResult(index=cm.index, outcome=cm.outcome)
+        else:
+            groups.setdefault(cm.duration, []).append(cm)
+    for duration, cms in groups.items():
+        for result in _walk_group(cms, duration):
+            results[result.index] = result
+    return [results[index] for index in order]
+
+
+def execute_compiled(cm: CompiledMeasurement) -> KernelResult:
+    """Execute one compiled measurement (a batch of one)."""
+    return execute_batch([cm])[0]

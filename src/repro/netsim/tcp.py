@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro.netsim.latency import Path
 from repro.netsim.socketbuf import KernelConfig
@@ -106,6 +107,31 @@ def tcp_rate_cap(
     )
 
 
+@lru_cache(maxsize=4096)
+def _ramp_profile_cached(
+    path: Path,
+    sender_kernel: KernelConfig,
+    receiver_kernel: KernelConfig,
+    seconds: int,
+    app_limit: float,
+) -> tuple[float, ...]:
+    """The memoized ramp: pure in hashable frozen-dataclass arguments.
+
+    Campaign workloads evaluate the same few (path, kernel) pairs for
+    thousands of measurements, so the hit rate is near 100%.
+    """
+    steady = steady_rate_cap(path, sender_kernel, receiver_kernel, app_limit)
+    caps = []
+    for second in range(seconds):
+        ramp = slow_start_rate_cap(path, float(second))
+        caps.append(min(steady, ramp))
+        if ramp >= steady:
+            # Slow start is monotone in age: it never binds again.
+            caps.extend([steady] * (seconds - second - 1))
+            break
+    return tuple(caps)
+
+
 def tcp_ramp_profile(
     path: Path,
     sender_kernel: KernelConfig,
@@ -120,20 +146,17 @@ def tcp_ramp_profile(
     Mathis caps are connection invariants, so only the slow-start ramp is
     evaluated per second -- and only until it stops being the binding
     limit, after which the cap is constant. This is the precomputation
-    step batched measurement engines rely on.
+    step batched measurement engines rely on. Profiles are memoized per
+    (path, kernels, duration, app limit); a fresh list is returned so
+    callers may mutate it.
     """
     if seconds <= 0:
         return []
-    steady = steady_rate_cap(path, sender_kernel, receiver_kernel, app_limit)
-    caps = []
-    for second in range(seconds):
-        ramp = slow_start_rate_cap(path, float(second))
-        caps.append(min(steady, ramp))
-        if ramp >= steady:
-            # Slow start is monotone in age: it never binds again.
-            caps.extend([steady] * (seconds - second - 1))
-            break
-    return caps
+    return list(
+        _ramp_profile_cached(
+            path, sender_kernel, receiver_kernel, seconds, app_limit
+        )
+    )
 
 
 @dataclass

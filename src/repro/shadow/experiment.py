@@ -165,8 +165,17 @@ def flashflow_weights_for(
     seed: int = 0,
     params: FlashFlowParams | None = None,
     background_utilization: float = 0.35,
+    backend: str | None = None,
+    max_workers: int | None = None,
 ) -> dict[str, float]:
-    """Run the FlashFlow pipeline: 3 x 1 Gbit/s team measures everything."""
+    """Run the FlashFlow pipeline: 3 x 1 Gbit/s team measures everything.
+
+    The whole-network measurement runs through the authority's shared
+    :class:`MeasurementEngine` and the vectorized kernel -- each campaign
+    round is one batched array walk (or a ``thread``/``process`` pool via
+    ``backend``) rather than a hand-rolled per-relay loop. Estimates are
+    bit-identical for every backend/worker choice.
+    """
     authority = quick_team(
         n_measurers=3, capacity_each=gbit(1.0), params=params, seed=seed
     )
@@ -187,6 +196,8 @@ def flashflow_weights_for(
         background_demand=background,
         full_simulation=True,
         noise=SHADOW_MEASUREMENT_NOISE,
+        max_workers=max_workers,
+        backend=backend,
     )
     return dict(result.estimates)
 
@@ -277,12 +288,24 @@ def compare_systems(
     loads: tuple[float, ...] = (1.0, 1.15, 1.30),
     seed: int = 0,
     run_performance: bool = True,
+    measurement_backend: str | None = None,
+    measurement_workers: int | None = None,
 ) -> ExperimentResult:
-    """Full §7 pipeline: weights, error metrics, performance runs."""
+    """Full §7 pipeline: weights, error metrics, performance runs.
+
+    ``measurement_backend``/``measurement_workers`` select the kernel
+    backend for the FlashFlow measurement phase; figures are identical
+    for every choice.
+    """
     config = config or ShadowConfig()
     network = build_network(config)
     tf_weights = torflow_weights_for(network, seed=seed)
-    ff_estimates = flashflow_weights_for(network, seed=seed)
+    ff_estimates = flashflow_weights_for(
+        network,
+        seed=seed,
+        backend=measurement_backend,
+        max_workers=measurement_workers,
+    )
     result = ExperimentResult(
         network=network,
         torflow_weights=tf_weights,

@@ -238,6 +238,13 @@ class NetworkSimulator:
         prev_util = np.zeros(n_relays)
         measured_seconds = 0
         horizon = config.warmup_seconds + config.sim_seconds
+        # One batched draw for the whole horizon (engine-kernel style
+        # noise batching): row ``now`` holds exactly the values the
+        # historical per-second ``rng_np.normal(1.0, 0.02, n_relays)``
+        # call would have drawn, so results are bit-identical.
+        relay_noise = np.clip(
+            rng_np.normal(1.0, 0.02, (horizon, n_relays)), 0.85, 1.15
+        )
 
         def congested_rtt(base_rtt: float, relay_ids: tuple[int, ...]) -> float:
             queue_factor = float(prev_util[list(relay_ids)].mean())
@@ -275,10 +282,9 @@ class NetworkSimulator:
 
             path_idx = np.array(paths, dtype=np.int64).reshape(-1, 3)
             cap_arr = np.array(caps)
-            noise = np.clip(
-                rng_np.normal(1.0, 0.02, n_relays), 0.85, 1.15
+            rates = waterfill(
+                path_idx, cap_arr, self._capacity * relay_noise[now]
             )
-            rates = waterfill(path_idx, cap_arr, self._capacity * noise)
 
             # Oversubscription per relay: offered demand vs capacity.
             offered_load = np.bincount(

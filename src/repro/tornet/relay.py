@@ -211,6 +211,55 @@ class Relay:
         return max(0.5, self._rng.gauss(1.0, self.jitter))
 
     # ------------------------------------------------------------------
+    # Kernel compilation hooks (repro.kernel)
+    # ------------------------------------------------------------------
+
+    @property
+    def bucket(self) -> TokenBucket | None:
+        """The operator rate-limit bucket, if configured."""
+        return self._bucket
+
+    @property
+    def is_behaviorally_honest(self) -> bool:
+        """True when the behaviour is exactly the honest default.
+
+        The vectorized measurement kernel compiles only relays whose
+        per-second walk it can reproduce in closed form; any behaviour
+        subclass (lying, forging, selective capacity) falls back to the
+        stateful :meth:`measured_second` path.
+        """
+        return type(self.behavior) is RelayBehavior
+
+    def draw_noise_series(self, n: int) -> list[float]:
+        """Pre-draw ``n`` per-second jitter factors.
+
+        Consumes the relay's RNG stream exactly as ``n`` successive
+        :meth:`_noise` calls would, so an externalised walk over the
+        returned series is bit-identical to ``n`` stateful
+        :meth:`measured_second` calls.
+        """
+        gauss = self._rng.gauss
+        jitter = self.jitter
+        return [max(0.5, gauss(1.0, jitter)) for _ in range(n)]
+
+    def settle_measured_walk(
+        self,
+        total_bytes_per_second: list[float],
+        final_bucket_tokens: float | None = None,
+    ) -> None:
+        """Apply the state effects of an externally executed walk.
+
+        The kernel runs the per-second measurement walk outside the relay
+        (possibly in another process); this settles the side effects the
+        stateful walk would have had: observed-bandwidth history and the
+        token bucket's final fill level.
+        """
+        if self._bucket is not None and final_bucket_tokens is not None:
+            self._bucket.tokens = final_bucket_tokens
+        for forwarded in total_bytes_per_second:
+            self.observed_bw.record_second(forwarded)
+
+    # ------------------------------------------------------------------
     # Measurement admission (paper §4.1)
     # ------------------------------------------------------------------
 

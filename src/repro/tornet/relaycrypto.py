@@ -38,6 +38,13 @@ MODP_GENERATOR = 2
 
 _KEYSTREAM_BLOCK = 32  # SHA-256 digest size.
 
+#: Upper bound on cached keystream spans per key (at cell-payload size a
+#: full cache is ~4 MiB). Echo-cell verification restarts cell indices at
+#: zero for every measurement, so with a shared circuit key the same
+#: spans recur across a whole campaign and the cache hit rate approaches
+#: 100% after the first slot.
+_KEYSTREAM_CACHE_MAX = 8192
+
 
 @dataclass
 class DhParty:
@@ -73,20 +80,43 @@ class CircuitKey:
         if len(key) != 32:
             raise ValueError("circuit key must be 32 bytes")
         self._key = key
+        # Keystream bytes depend only on (key, counter, length), so
+        # verifying the same cell twice (measurer side + relay side) or
+        # re-checking the same cell indices across measurements never
+        # recomputes the SHA-256 blocks. Bounded; eviction is a full
+        # reset (indices are small and dense in practice, so the bound is
+        # rarely hit).
+        self._span_cache: dict[tuple[int, int], bytes] = {}
 
-    def keystream(self, counter: int, length: int) -> bytes:
-        """Generate ``length`` keystream bytes starting at block ``counter``."""
+    @property
+    def key_bytes(self) -> bytes:
+        """The 32-byte symmetric key (for rebuilding the key elsewhere)."""
+        return self._key
+
+    def _generate_keystream(self, counter: int, length: int) -> bytes:
         blocks = []
         needed = length
         block_index = counter
         while needed > 0:
-            block = hashlib.sha256(
-                self._key + block_index.to_bytes(8, "big")
-            ).digest()
-            blocks.append(block)
+            blocks.append(
+                hashlib.sha256(
+                    self._key + block_index.to_bytes(8, "big")
+                ).digest()
+            )
             needed -= _KEYSTREAM_BLOCK
             block_index += 1
         return b"".join(blocks)[:length]
+
+    def keystream(self, counter: int, length: int) -> bytes:
+        """Generate ``length`` keystream bytes starting at block ``counter``."""
+        span = (counter, length)
+        stream = self._span_cache.get(span)
+        if stream is None:
+            stream = self._generate_keystream(counter, length)
+            if len(self._span_cache) >= _KEYSTREAM_CACHE_MAX:
+                self._span_cache.clear()
+            self._span_cache[span] = stream
+        return stream
 
     def process(self, data: bytes, cell_index: int) -> bytes:
         """Encrypt/decrypt ``data`` as the ``cell_index``-th cell."""

@@ -79,3 +79,38 @@ class TokenBucket:
         granted = min(requested_bytes, available)
         self.tokens = min(self.burst, available - granted)
         return granted
+
+    def state(self) -> tuple[float, float, float]:
+        """(tokens, rate, burst) snapshot for externalised bucket walks.
+
+        The vectorized measurement kernel snapshots bucket state at
+        compile time, advances it with :func:`take_second_array`, and
+        settles the final token count back via
+        :meth:`repro.tornet.relay.Relay.settle_measured_walk`.
+        """
+        return (self.tokens, self.rate, self.burst)
+
+
+def available_second_array(tokens, rate):
+    """Vectorized twin of :meth:`TokenBucket.available_second`.
+
+    Operates elementwise on numpy arrays (or plain floats) of bucket
+    state, performing exactly the scalar method's operations so results
+    are bit-identical per element.
+    """
+    return tokens + rate
+
+
+def take_second_array(tokens, rate, burst, requested_bytes):
+    """Vectorized twin of :meth:`TokenBucket.take_second`.
+
+    Returns ``(granted, new_tokens)`` elementwise; bit-identical to the
+    scalar method per element. ``numpy`` is imported lazily so the module
+    stays dependency-free for scalar users.
+    """
+    import numpy as np
+
+    available = tokens + rate
+    granted = np.minimum(requested_bytes, available)
+    new_tokens = np.minimum(burst, available - granted)
+    return granted, new_tokens

@@ -1,0 +1,155 @@
+"""Backend parity: every backend is the same bits, differently scheduled.
+
+The satellite contract: ``serial``, ``thread``, and ``process`` backends
+produce identical :class:`CampaignResult`s for a seeded 30-relay
+network (and the ``vector`` default matches too), backend selection
+resolves params over environment over default, and unknown names fail
+loudly.
+"""
+
+import os
+
+import pytest
+
+from repro import quick_team
+from repro.core.allocation import allocate_capacity
+from repro.core.engine import MeasurementEngine, MeasurementSpec
+from repro.core.netmeasure import measure_network
+from repro.core.params import FlashFlowParams
+from repro.errors import ConfigurationError
+from repro.kernel.backends import (
+    BACKEND_ENV_VAR,
+    backend_names,
+    get_backend,
+    resolve_backend_name,
+)
+from repro.tornet.network import synthesize_network
+from repro.tornet.relay import Relay
+from repro.units import mbit
+
+ALL_BACKENDS = ("serial", "thread", "process", "vector")
+
+
+def _campaign(backend):
+    network = synthesize_network(n_relays=30, seed=71)
+    authority = quick_team(seed=72)
+    return measure_network(
+        network, authority, full_simulation=True,
+        backend=backend, max_workers=2,
+    )
+
+
+def test_all_backends_produce_identical_campaign_results():
+    results = {backend: _campaign(backend) for backend in ALL_BACKENDS}
+    reference = results["serial"]
+    assert len(reference.estimates) == 30
+    for backend, result in results.items():
+        assert result.estimates == reference.estimates, backend
+        assert result.failures == reference.failures, backend
+        assert result.slots_elapsed == reference.slots_elapsed, backend
+        assert result.measurements_run == reference.measurements_run, backend
+
+
+def test_backends_match_stateful_engine_on_run_many():
+    params = FlashFlowParams()
+    team = quick_team(seed=4).team
+
+    def specs():
+        out = []
+        for i in range(8):
+            relay = Relay.with_capacity(
+                f"relay{i}", mbit(80 + 40 * i), seed=90 + i
+            )
+            out.append(
+                MeasurementSpec(
+                    target=relay,
+                    assignments=allocate_capacity(team, mbit(500)),
+                    params=params,
+                    seed=90 + i,
+                    enforce_admission=False,
+                )
+            )
+        return out
+
+    reference = [MeasurementEngine().run(spec) for spec in specs()]
+    for backend in ALL_BACKENDS:
+        outcomes = MeasurementEngine().run_many(
+            specs(), backend=backend, max_workers=2
+        )
+        assert [o.estimate for o in outcomes] \
+            == [o.estimate for o in reference], backend
+        assert [o.per_second_total for o in outcomes] \
+            == [o.per_second_total for o in reference], backend
+        assert [o.cells_checked for o in outcomes] \
+            == [o.cells_checked for o in reference], backend
+
+
+def test_registry_and_resolution():
+    assert set(ALL_BACKENDS) <= set(backend_names())
+    # auto -> vector; explicit beats params; params beat environment.
+    assert resolve_backend_name(None, None) == "vector"
+    assert resolve_backend_name("serial", "process") == "serial"
+    assert resolve_backend_name(None, "process") == "process"
+    old = os.environ.get(BACKEND_ENV_VAR)
+    try:
+        os.environ[BACKEND_ENV_VAR] = "thread"
+        assert resolve_backend_name(None, None) == "thread"
+        assert resolve_backend_name(None, "serial") == "serial"
+    finally:
+        if old is None:
+            os.environ.pop(BACKEND_ENV_VAR, None)
+        else:
+            os.environ[BACKEND_ENV_VAR] = old
+    with pytest.raises(ConfigurationError):
+        get_backend("not-a-backend")
+
+
+def test_params_kernel_backend_is_honoured():
+    params = FlashFlowParams(kernel_backend="serial")
+    team = quick_team(seed=5, params=params).team
+    specs = [
+        MeasurementSpec(
+            target=Relay.with_capacity(f"r{i}", mbit(100 + i), seed=i),
+            assignments=allocate_capacity(team, mbit(300)),
+            params=params,
+            seed=i,
+            enforce_admission=False,
+        )
+        for i in range(3)
+    ]
+    outcomes = MeasurementEngine().run_many(specs)
+    assert all(not o.failed for o in outcomes)
+    with pytest.raises(ConfigurationError):
+        FlashFlowParams(kernel_backend="")
+
+
+def test_duplicate_targets_still_fall_back_to_stateful_serial():
+    params = FlashFlowParams()
+    team = quick_team(seed=6).team
+    shared = Relay.with_capacity("shared", mbit(100), seed=50)
+    specs = [
+        MeasurementSpec(
+            target=shared,
+            assignments=allocate_capacity(team, mbit(300)),
+            params=params,
+            seed=s,
+            enforce_admission=False,
+        )
+        for s in (1, 2)
+    ]
+    outcomes = MeasurementEngine().run_many(specs, backend="process")
+    twin = Relay.with_capacity("shared", mbit(100), seed=50)
+    engine = MeasurementEngine()
+    expected = [
+        engine.run(
+            MeasurementSpec(
+                target=twin,
+                assignments=allocate_capacity(team, mbit(300)),
+                params=params,
+                seed=s,
+                enforce_admission=False,
+            )
+        )
+        for s in (1, 2)
+    ]
+    assert [o.estimate for o in outcomes] == [o.estimate for o in expected]

@@ -175,3 +175,28 @@ def test_flashflow_pipeline_standalone():
     for fp, est in estimates.items():
         cap = network.relays[fp].true_capacity
         assert 0.4 * cap < est < 1.15 * cap
+
+
+# ---------------------------------------------------------------------------
+# Kernel routing: the measurement phase runs on the vectorized kernel
+# ---------------------------------------------------------------------------
+
+def test_flashflow_weights_identical_across_kernel_backends():
+    """The shadow measurement phase is backend-invariant, bit for bit."""
+    config = ShadowConfig(
+        n_relays=24, n_markov_clients=10, n_benchmark_clients=2,
+        sim_seconds=30, warmup_seconds=10, seed=5,
+    )
+    # A fresh network per backend: relays are stateful (jitter RNG
+    # streams, admission, token buckets), so re-measuring the same
+    # objects would legitimately differ.
+    weights = {
+        backend: flashflow_weights_for(
+            build_network(config), seed=5, backend=backend
+        )
+        for backend in ("vector", "serial", "thread", "process")
+    }
+    reference = weights["vector"]
+    assert len(reference) == 24
+    for backend, estimate_map in weights.items():
+        assert estimate_map == reference, backend

@@ -1,8 +1,10 @@
 #!/usr/bin/env python
 """Adversarial relays vs FlashFlow (paper §5).
 
-Runs each §5 attack against the real measurement pipeline and shows the
-protocol's bound holding:
+Runs each §5 attack against the real measurement pipeline -- via the
+scenario API's adversary mixes (:class:`repro.api.AdversaryMix`, the
+``inflation-attack`` registered scenario) and the single-relay
+measurement path -- and shows the protocol's bound holding:
 
 1. ratio cheating  -- bounded at 1/(1-r) = 1.33x;
 2. echo forging    -- caught by random content checks;
@@ -12,16 +14,14 @@ protocol's bound holding:
 Run:  python examples/adversarial_relay.py
 """
 
-import statistics
-
 from repro import quick_team
+from repro.api import run_scenario
 from repro.attacks.analysis import (
     forge_evasion_probability,
     selective_capacity_failure_probability,
 )
 from repro.attacks.relays import (
     ForgingRelayBehavior,
-    RatioCheatingRelayBehavior,
     SelectiveCapacityRelayBehavior,
 )
 from repro.core.aggregation import aggregate_bwauth_votes
@@ -36,19 +36,23 @@ def main() -> None:
 
     # --- Attack 1: lie about background traffic --------------------------
     print("Attack 1: report background traffic that was never forwarded")
-    auth = quick_team(seed=1)
-    cheat = Relay.with_capacity(
-        "cheater", capacity, behavior=RatioCheatingRelayBehavior(), seed=1
-    )
-    estimate = auth.measure_relay(cheat, initial_estimate=capacity)
-    print(f"  true capacity {to_mbit(capacity):.0f} Mbit/s -> estimate "
-          f"{to_mbit(estimate.capacity):.0f} Mbit/s "
-          f"({estimate.capacity / capacity:.2f}x)")
-    print(f"  protocol bound: {params.inflation_bound:.2f}x -- the clamp "
-          "y <= x*r/(1-r) holds per second, whatever the lie\n")
+    print("  (the registered 'inflation-attack' scenario: a quarter of the")
+    print("  network runs the ratio-cheating behaviour)")
+    report = run_scenario("inflation-attack", n_relays=16, seed=9,
+                          adversary_fraction=0.25)
+    for fp, inflation in sorted(report.adversary_inflation().items()):
+        truth = report.ground_truth[fp]
+        print(f"  {fp}: true {to_mbit(truth):7.1f} Mbit/s -> estimate "
+              f"{to_mbit(report.estimates[fp]):7.1f} Mbit/s "
+              f"({inflation:.2f}x)")
+    worst = max(report.adversary_inflation().values())
+    print(f"  worst inflation {worst:.2f}x; protocol bound "
+          f"{params.inflation_bound:.2f}x -- the clamp y <= x*r/(1-r) "
+          "holds per second, whatever the lie\n")
 
     # --- Attack 2: forge echo cells (skip decryption) ---------------------
     print("Attack 2: echo cells without decrypting (saves ~35% CPU)")
+    auth = quick_team(seed=1)
     forger = Relay.with_capacity(
         "forger", mbit(400), behavior=ForgingRelayBehavior(seed=2), seed=2
     )

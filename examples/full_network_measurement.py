@@ -3,30 +3,38 @@
 
 Synthesizes a July-2019-shaped network, derives a secret randomized
 schedule from the DirAuths' shared-randomness protocol, runs a full
-measurement campaign with a 3 x 1 Gbit/s team, and writes the resulting
-bandwidth file.
+measurement campaign through the scenario API
+(:class:`repro.api.Scenario` -> :class:`repro.api.Campaign`, streaming
+per-round progress), and writes the resulting bandwidth file.
 
 Run:  python examples/full_network_measurement.py
 """
 
 import statistics
+import sys
 import tempfile
 
-from repro import quick_team
+from repro.api import (
+    Campaign,
+    ExecutionConfig,
+    NetworkSpec,
+    ProgressObserver,
+    Scenario,
+)
 from repro.core.bwfile import BandwidthFile
-from repro.core.netmeasure import measure_network
 from repro.core.params import FlashFlowParams
 from repro.core.schedule import PeriodSchedule, greedy_pack_slots
 from repro.tornet.authority import SharedRandomness
-from repro.tornet.network import synthesize_network
 from repro.units import gbit, to_gbit, to_mbit
 
 
 def main() -> None:
     params = FlashFlowParams()
-    # A smaller network keeps the example quick; pass n_relays=6419 for
-    # the paper-scale run (the efficiency bench does).
-    network = synthesize_network(n_relays=400, seed=7)
+    # A smaller network keeps the example quick; override n_relays=6419
+    # for the paper-scale run (the efficiency bench does).
+    network = NetworkSpec(n_relays=400).build(default_seed=7)
+    scenario = Scenario(name="full-network", network=network, seed=7)
+    campaign = Campaign(scenario, ExecutionConfig())
     print(f"Synthetic network: {len(network)} relays, "
           f"{to_gbit(network.total_capacity()):.1f} Gbit/s total, "
           f"max relay {to_mbit(network.max_capacity()):.0f} Mbit/s")
@@ -46,23 +54,20 @@ def main() -> None:
           f"{len(slots) * params.slot_seconds / 3600:.2f} hours")
 
     # --- Run the campaign -------------------------------------------------
-    auth = quick_team(seed=7)
-    campaign = measure_network(network, auth, full_simulation=True)
-    print(f"Campaign: {campaign.measurements_run} measurements in "
-          f"{campaign.slots_elapsed} slots "
-          f"({campaign.hours_elapsed:.2f} h); "
-          f"{len(campaign.failures)} failures")
+    report = campaign.run(observers=[ProgressObserver(stream=sys.stdout)])
+    print(f"Campaign: {report.measurements_run} measurements in "
+          f"{report.slots_elapsed} slots "
+          f"({report.hours_elapsed:.2f} h); "
+          f"{len(report.failures)} failures; "
+          f"{report.cells_checked} echo cells verified")
 
-    errors = [
-        1 - campaign.estimates[fp] / network[fp].true_capacity
-        for fp in campaign.estimates
-    ]
+    errors = sorted(report.error_vs_truth().values())
     print(f"Relay capacity error: median "
           f"{statistics.median(errors) * 100:.1f}%, "
-          f"p95 {sorted(errors)[int(0.95 * len(errors))] * 100:.1f}%")
+          f"p95 {errors[int(0.95 * len(errors))] * 100:.1f}%")
 
     # --- Publish the bandwidth file ---------------------------------------
-    bwfile = BandwidthFile.from_estimates(campaign.estimates, timestamp=0)
+    bwfile = BandwidthFile.from_estimates(report.estimates, timestamp=0)
     with tempfile.NamedTemporaryFile(
         "w", suffix=".bwfile", delete=False
     ) as handle:

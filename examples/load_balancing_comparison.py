@@ -1,9 +1,12 @@
 #!/usr/bin/env python
 """TorFlow vs FlashFlow load balancing in a scaled private network (§7).
 
-Runs the whole Figure 8/9 pipeline at a small scale: generate a scaled
-network, produce weights with both systems, compare error metrics, then
-race benchmark clients under each weight set.
+Runs the whole Figure 8/9 pipeline at a small scale through the API
+front door (:func:`repro.api.compare_load_balancing`; the FlashFlow
+measurement phase inside it is a scenario-API campaign on the
+vectorized kernel): generate a scaled network, produce weights with
+both systems, compare error metrics, then race benchmark clients under
+each weight set.
 
 Run:  python examples/load_balancing_comparison.py
 (takes ~30-60 seconds)
@@ -11,8 +14,8 @@ Run:  python examples/load_balancing_comparison.py
 
 import statistics
 
+from repro.api import ExecutionConfig, compare_load_balancing
 from repro.shadow.config import ShadowConfig
-from repro.shadow.experiment import compare_systems
 
 SIZES = {"50 KiB": 50 * 1024, "1 MiB": 1024 * 1024, "5 MiB": 5 * 1024 * 1024}
 
@@ -29,7 +32,10 @@ def main() -> None:
     print(f"Scaled network: {config.n_relays} relays, "
           f"{config.n_markov_clients} background clients, "
           f"{config.n_benchmark_clients} benchmark clients")
-    result = compare_systems(config, loads=(1.0, 1.3), seed=5)
+    result = compare_load_balancing(
+        config, loads=(1.0, 1.3), seed=5,
+        execution=ExecutionConfig(backend="vector"),
+    )
 
     print("\n-- Figure 8 analogue: weight accuracy --")
     print(f"  network weight error: "

@@ -3,7 +3,11 @@
 
 Generates an archive with the under-utilisation mechanism the paper
 identifies, runs Equations 1-7 over it, and replays the §3.4 speed-test
-flood (Figure 5).
+flood (Figure 5). This pipeline analyzes archived consensus data rather
+than running measurements, so it sits beside the scenario API
+(``repro.api``) the measurement examples use; the campaign workloads it
+motivates (e.g. ``fig06-accuracy``, ``whole-network-efficiency``) are
+registered there and runnable via ``python -m repro.api --list``.
 
 Run:  python examples/metrics_analysis.py
 """

@@ -1,15 +1,23 @@
 #!/usr/bin/env python
-"""Quickstart: measure one Tor relay with FlashFlow.
+"""Quickstart: describe and run a FlashFlow workload with ``repro.api``.
 
-Builds the paper's reference team (3 x 1 Gbit/s measurers, paper §7),
-measures a 250 Mbit/s relay, and walks through the retry-with-doubling
-logic on a relay whose prior estimate is stale.
+Every workload is a :class:`repro.api.Scenario` (what to measure) plus
+an :class:`repro.api.ExecutionConfig` (how to run it), executed by a
+:class:`repro.api.Campaign` that streams per-round progress to
+observers. This example measures three relays with known capacities --
+one with a good prior, one with a stale prior that forces the
+retry-with-doubling loop, one brand new -- and prints the estimates
+against ground truth.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import FlashFlowParams, quick_team
-from repro.tornet import Relay
+import sys
+
+from repro.api import Campaign, ExecutionConfig, ProgressObserver, Scenario
+from repro.core.params import FlashFlowParams
+from repro.tornet.network import TorNetwork
+from repro.tornet.relay import Relay
 from repro.units import mbit, to_mbit
 
 
@@ -23,40 +31,49 @@ def main() -> None:
     print(f"  malicious inflation bound 1/(1-r) = {params.inflation_bound:.2f}x")
     print()
 
-    auth = quick_team(seed=42)
-    print(f"Team: {len(auth.team)} measurers, "
-          f"{auth.team_capacity() / 1e9:.1f} Gbit/s total")
+    # --- Describe the workload -------------------------------------------
+    # An explicit three-relay network: good prior, stale prior, no prior.
+    network = TorNetwork()
+    network.add(Relay.with_capacity("demo-relay", mbit(250), seed=1))
+    network.add(Relay.with_capacity("stale-relay", mbit(600), seed=2))
+    network.add(Relay.with_capacity("new-relay", mbit(30), seed=3))
+    scenario = Scenario(
+        name="quickstart",
+        network=network,
+        priors={
+            "demo-relay": mbit(250),   # accurate prior -> one slot
+            "stale-relay": mbit(40),   # stale prior -> z0 doubles until covered
+            # new-relay absent -> seeded at the 75th-percentile new_relay_seed
+        },
+        seed=42,
+    )
+    execution = ExecutionConfig(backend="vector")  # bit-identical on any backend
+
+    # --- Run it, streaming per-round progress ----------------------------
+    report = Campaign(scenario, execution).run(
+        observers=[ProgressObserver(stream=sys.stdout)]
+    )
     print()
 
-    # --- An "old" relay with an accurate prior estimate -----------------
-    relay = Relay.with_capacity("demo-relay", mbit(250), seed=1)
-    estimate = auth.measure_relay(relay, initial_estimate=mbit(250))
-    print(f"Old relay (true capacity 250 Mbit/s, good prior):")
-    print(f"  estimate {to_mbit(estimate.capacity):.1f} Mbit/s in "
-          f"{estimate.rounds} measurement round(s); "
-          f"conclusive={estimate.conclusive}")
-    lo, hi = params.accuracy_interval(mbit(250))
-    inside = lo <= estimate.capacity <= hi
-    print(f"  within ((1-eps1)x, (1+eps2)x) = "
-          f"({to_mbit(lo):.0f}, {to_mbit(hi):.0f}) Mbit/s: {inside}")
-    print()
+    truths = {"demo-relay": mbit(250), "stale-relay": mbit(600),
+              "new-relay": mbit(30)}
+    for fp, truth in truths.items():
+        estimate = report.estimates[fp]
+        attempts = [m for m in report.timeline() if m.fingerprint == fp]
+        lo, hi = params.accuracy_interval(truth)
+        print(f"{fp}: true {to_mbit(truth):.0f} Mbit/s -> estimate "
+              f"{to_mbit(estimate):.1f} Mbit/s in {len(attempts)} slot(s); "
+              f"within ((1-eps1)x, (1+eps2)x) = ({to_mbit(lo):.0f}, "
+              f"{to_mbit(hi):.0f}): {lo <= estimate <= hi}")
 
-    # --- A relay whose prior badly underestimates it ---------------------
-    stale = Relay.with_capacity("stale-relay", mbit(600), seed=2)
-    estimate = auth.measure_relay(stale, initial_estimate=mbit(40))
-    print("Old relay (true capacity 600 Mbit/s, stale 40 Mbit/s prior):")
-    print(f"  estimate {to_mbit(estimate.capacity):.1f} Mbit/s after "
-          f"{estimate.rounds} rounds (z0 doubles until the allocation "
-          f"covers the relay)")
     print()
-
-    # --- A brand-new relay ----------------------------------------------
-    new = Relay.with_capacity("new-relay", mbit(30), seed=3)
-    estimate = auth.measure_relay(new)
-    print("New relay (no prior; seeded at the 75th-percentile "
-          f"{to_mbit(params.new_relay_seed):.0f} Mbit/s):")
-    print(f"  estimate {to_mbit(estimate.capacity):.1f} Mbit/s in "
-          f"{estimate.rounds} round(s)")
+    print(f"Campaign: {report.measurements_run} measurements, "
+          f"{report.slots_elapsed} slots, "
+          f"{report.cells_checked} echo cells verified, "
+          f"median |error| vs truth "
+          f"{report.median_error_vs_truth() * 100:.1f}%")
+    print("Canned paper scenarios: "
+          "python -m repro.api --list  (repro.api.run_scenario runs them)")
 
 
 if __name__ == "__main__":

@@ -8,6 +8,12 @@ paths produce bit-identical estimates, and writes
 ``benchmarks/results/BENCH_kernel.json`` so future PRs have a recorded
 perf trajectory.
 
+The whole-network campaign runs through the scenario API
+(:class:`repro.api.Campaign`); the ``api_overhead`` section times that
+API path against a verbatim port of the pre-API campaign loop (no
+scenario resolution, no events, no report) on identical seeds and
+asserts the API layer costs < 2%.
+
 The ``pr1_engine`` row re-times the PR 1 execution path (a serial
 ``MeasurementEngine.run`` loop -- exactly what ``run_measurement`` did
 before the kernel) on the same machine and seeds, so speedups are
@@ -31,10 +37,10 @@ import time
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
 from repro import quick_team  # noqa: E402
+from repro.api import Campaign, ExecutionConfig, Scenario  # noqa: E402
 from repro.core.allocation import allocate_evenly  # noqa: E402
 from repro.core.engine import MeasurementEngine, MeasurementSpec  # noqa: E402
 from repro.core.measurer import Measurer  # noqa: E402
-from repro.core.netmeasure import measure_network  # noqa: E402
 from repro.core.params import FlashFlowParams  # noqa: E402
 from repro.errors import AllocationError  # noqa: E402
 from repro.netsim.latency import NetworkModel  # noqa: E402
@@ -165,7 +171,7 @@ def _time_spec_campaign(make_specs, mode: str, repeats: int):
 
 
 def _time_network_campaign(mode: str, repeats: int, n_relays: int = 200):
-    """Best-of-N wall time for a whole-network campaign."""
+    """Best-of-N wall time for a whole-network campaign (API path)."""
     best, signature, count = float("inf"), None, 0
     for _ in range(repeats):
         network = synthesize_network(n_relays=n_relays, seed=71)
@@ -182,15 +188,161 @@ def _time_network_campaign(mode: str, repeats: int, n_relays: int = 200):
             )
         else:
             backend = mode
-        start = time.perf_counter()
-        result = measure_network(
-            network, authority, full_simulation=True,
-            engine=engine, backend=backend,
+        campaign = Campaign(
+            Scenario(
+                name="bench-network-campaign",
+                network=network,
+                team=authority,
+            ),
+            ExecutionConfig(backend=backend),
+            engine=engine,
         )
+        start = time.perf_counter()
+        report = campaign.run()
         best = min(best, time.perf_counter() - start)
-        signature = sum(result.estimates.values())
-        count = result.measurements_run
+        signature = sum(report.estimates.values())
+        count = report.measurements_run
     return best, signature, count
+
+
+def _direct_campaign_loop(network, authority) -> dict[str, float]:
+    """The pre-API ``measure_network`` body (cold priors, full sim).
+
+    A verbatim port of the loop as it stood before the scenario API
+    absorbed it -- no scenario resolution, no events, no per-round
+    records -- kept here as the baseline the API path is timed against
+    (the same role ``pr1_engine`` plays for the kernel benches).
+    """
+    from collections import deque
+
+    from repro.core.allocation import allocate_capacity, total_allocated
+    from repro.rng import fork
+
+    params = authority.params
+    team = authority.team
+    team_capacity = authority.team_capacity()
+    engine = authority.engine
+    fork(authority.seed, "campaign-analytic")  # loop's (unused) wobble RNG
+    estimates: dict[str, float] = {}
+
+    queue = deque(
+        (fp, params.new_relay_seed, 0) for fp in network.relays
+    )
+
+    def required_for(z0):
+        return min(params.allocation_factor * max(z0, 1.0), team_capacity)
+
+    slot_index = 0
+    while queue:
+        jobs = []
+        waiting = queue
+        while waiting:
+            residual = team_capacity
+            this_slot, deferred = [], deque()
+            while waiting:
+                fp, z0, rounds = waiting.popleft()
+                if required_for(z0) <= residual + 1e-6:
+                    this_slot.append((fp, z0, rounds))
+                    residual -= required_for(z0)
+                else:
+                    deferred.append((fp, z0, rounds))
+            if not this_slot:
+                this_slot.append(deferred.popleft())
+            for fp, z0, rounds in this_slot:
+                required = required_for(z0)
+                jobs.append((
+                    fp, z0, rounds, slot_index,
+                    required < params.allocation_factor * z0,
+                    allocate_capacity(team, required),
+                ))
+            slot_index += 1
+            waiting = deferred
+
+        specs = [
+            MeasurementSpec(
+                target=network[fp],
+                assignments=assignments,
+                params=params,
+                network=authority.network,
+                background_demand=0.0,
+                seed=authority.seed + slot * 7919 + rounds,
+                bwauth_id=authority.name,
+                period_index=0,
+                enforce_admission=False,
+            )
+            for fp, z0, rounds, slot, capped, assignments in jobs
+        ]
+        outcomes = engine.run_many(specs)
+
+        retries = deque()
+        for (fp, z0, rounds, slot, capped, assignments), outcome in zip(
+            jobs, outcomes
+        ):
+            if outcome.failed:
+                continue
+            z = outcome.estimate
+            threshold = params.acceptance_threshold(
+                total_allocated(assignments)
+            )
+            if z < threshold or capped:
+                estimates[fp] = z
+                authority.estimates[fp] = z
+            elif rounds + 1 < 8:
+                retries.append((fp, max(z, 2.0 * z0), rounds + 1))
+        queue = retries
+    return estimates
+
+
+def measure_api_overhead(repeats: int, n_relays: int = 120) -> dict:
+    """Scenario-API overhead vs the pre-API campaign loop.
+
+    ``measure_network`` is now itself a shim over the API, so the
+    baseline is :func:`_direct_campaign_loop` -- the historical loop
+    without scenario resolution, events, or report assembly -- on
+    identical seeds. The delta is the true cost of the API layer and
+    must stay below 2%.
+    """
+    def run_direct() -> tuple[float, float]:
+        network = synthesize_network(n_relays=n_relays, seed=81)
+        authority = quick_team(seed=82)
+        start = time.perf_counter()
+        estimates = _direct_campaign_loop(network, authority)
+        return time.perf_counter() - start, sum(estimates.values())
+
+    def run_api() -> tuple[float, float]:
+        network = synthesize_network(n_relays=n_relays, seed=81)
+        authority = quick_team(seed=82)
+        campaign = Campaign(
+            Scenario(name="bench-api-overhead", network=network,
+                     team=authority),
+            ExecutionConfig(),
+        )
+        start = time.perf_counter()
+        report = campaign.run()
+        return time.perf_counter() - start, sum(report.estimates.values())
+
+    direct_best, api_best = float("inf"), float("inf")
+    direct_sig = api_sig = None
+    for _ in range(repeats):
+        seconds, direct_sig = run_direct()
+        direct_best = min(direct_best, seconds)
+        seconds, api_sig = run_api()
+        api_best = min(api_best, seconds)
+    overhead = api_best / direct_best - 1.0
+    print(f"{'api_overhead':22s} direct {direct_best:8.3f}s  "
+          f"api {api_best:8.3f}s  ({overhead * 100:+.2f}%)")
+    return {
+        "describe": (
+            "Campaign.run() (scenario resolution + event/report stream) "
+            "vs the pre-API campaign loop, identical seeds"
+        ),
+        "n_relays": n_relays,
+        "direct_seconds": round(direct_best, 4),
+        "api_seconds": round(api_best, 4),
+        "overhead_fraction": round(overhead, 4),
+        "within_2pct": overhead < 0.02,
+        "identical_estimates": repr(direct_sig) == repr(api_sig),
+    }
 
 
 BENCHES = {
@@ -258,6 +410,16 @@ def run_benches(repeats: int) -> dict:
                 f"{name}: execution paths disagree on estimates: {signatures}"
             )
         report["benches"][name] = entry
+
+    overhead = measure_api_overhead(repeats)
+    if not overhead["identical_estimates"]:  # pragma: no cover
+        raise SystemExit("api_overhead: API and direct paths disagree")
+    if not overhead["within_2pct"]:  # pragma: no cover
+        raise SystemExit(
+            f"api_overhead: scenario-API path costs "
+            f"{overhead['overhead_fraction'] * 100:.2f}% (> 2% budget)"
+        )
+    report["api_overhead"] = overhead
     return report
 
 
@@ -277,6 +439,11 @@ def main() -> None:
             f"  {name}: process {entry['speedup_process_vs_serial']}x vs serial, "
             f"vector {entry['speedup_vs_pr1']['vector']}x vs PR 1 engine"
         )
+    print(
+        f"  api_overhead: "
+        f"{report['api_overhead']['overhead_fraction'] * 100:+.2f}% "
+        f"(budget 2%)"
+    )
 
 
 if __name__ == "__main__":

@@ -15,11 +15,21 @@ Jansen, Johnson -- ICDCS 2021) end to end:
 - :mod:`repro.shadow` -- the flow-level whole-network simulator behind the
   paper's Shadow experiments (§7);
 - :mod:`repro.attacks` -- adversarial relay behaviours and the security
-  analysis (§5).
+  analysis (§5);
+- :mod:`repro.api` -- the scenario-driven front door: describe any
+  workload as a ``Scenario`` + ``ExecutionConfig`` and run it as a
+  ``Campaign`` with streaming observers.
 
-Quickstart::
+Quickstart (see also ``python -m repro.api --list``)::
 
-    from repro import quick_team, FlashFlowParams
+    from repro.api import Campaign, ExecutionConfig, Scenario
+
+    report = Campaign(Scenario(), ExecutionConfig()).run()
+    print(report.median_error_vs_truth())
+
+or, for one relay with the low-level protocol objects::
+
+    from repro import quick_team
     from repro.tornet import Relay
     from repro.units import mbit
 

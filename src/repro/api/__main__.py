@@ -1,0 +1,86 @@
+"""CLI smoke runner for registered scenarios (used by CI).
+
+Usage::
+
+    PYTHONPATH=src python -m repro.api --list
+    PYTHONPATH=src python -m repro.api fig06-accuracy --backend serial
+    PYTHONPATH=src python -m repro.api whole-network-efficiency -o n_relays=50
+
+Runs the named scenario through :class:`repro.api.Campaign` with a
+progress observer and prints the report summary as JSON. ``-o
+key=value`` overrides are parsed as Python literals where possible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+
+from repro.api import (
+    ExecutionConfig,
+    ProgressObserver,
+    default_execution_for,
+    run_scenario,
+    scenario_names,
+    scenario_registry,
+)
+
+
+def _parse_override(text: str) -> tuple[str, object]:
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(
+            f"override {text!r} must look like key=value"
+        )
+    key, raw = text.split("=", 1)
+    try:
+        value: object = ast.literal_eval(raw)
+    except (ValueError, SyntaxError):
+        value = raw
+    return key, value
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.api", description=__doc__
+    )
+    parser.add_argument("scenario", nargs="?", help="registered scenario name")
+    parser.add_argument("--list", action="store_true",
+                        help="list registered scenarios and exit")
+    parser.add_argument("--backend", default=None,
+                        help="kernel backend (serial/thread/process/vector)")
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-round progress lines")
+    parser.add_argument("-o", "--override", action="append", default=[],
+                        type=_parse_override, metavar="KEY=VALUE",
+                        help="scenario factory override (repeatable)")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.scenario:
+        for name, entry in sorted(scenario_registry().items()):
+            print(f"{name:28s} {entry.description}")
+        return 0 if args.list else 2
+
+    base = default_execution_for(args.scenario)
+    execution = ExecutionConfig(
+        backend=args.backend,
+        max_workers=args.workers,
+        full_simulation=base.full_simulation,
+        max_rounds=base.max_rounds,
+        analytic_error_std=base.analytic_error_std,
+    )
+    observers = () if args.quiet else (ProgressObserver(stream=sys.stderr),)
+    report = run_scenario(
+        args.scenario,
+        execution=execution,
+        observers=observers,
+        **dict(args.override),
+    )
+    print(json.dumps(report.to_dict(), indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

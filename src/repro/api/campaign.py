@@ -1,0 +1,414 @@
+"""The campaign runner: Scenario + ExecutionConfig -> streamed rounds.
+
+This module owns the canonical FlashFlow campaign loop (formerly the
+body of :func:`repro.core.netmeasure.measure_network`, which is now a
+thin deprecation shim over it). Each campaign *round* packs every
+waiting relay into consecutive t-second slots greedily (largest first,
+the paper's efficiency scheduler); the round's measurements execute
+concurrently through :class:`repro.core.engine.MeasurementEngine.\
+run_many`, which lowers them onto the vectorized kernel
+(:mod:`repro.kernel`); outcomes fold back in deterministic slot order
+and inconclusive relays re-enter the next round with a doubled
+estimate. Retries are round-granular (see the shim's docstring for the
+history); for a fixed worker count the whole campaign is
+deterministic, and estimates are bit-identical on every backend.
+
+:class:`Campaign` adds streaming on top: :meth:`Campaign.iter_rounds`
+yields :mod:`repro.api.events` as rounds plan and complete, and
+:meth:`Campaign.run` dispatches them to observers while assembling a
+:class:`repro.api.report.CampaignReport`. Multi-period scenarios run
+the :class:`repro.core.deployment.Deployment` loop -- prior carryover,
+estimate aging, a bandwidth file per period -- with every period's
+rounds streamed through the same event surface.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+from repro.api.events import (
+    CampaignCompleted,
+    CampaignEvent,
+    CampaignObserver,
+    CampaignStarted,
+    PeriodCompleted,
+    PeriodStarted,
+    RoundCompleted,
+    RoundPlanned,
+)
+from repro.api.execution import ExecutionConfig
+from repro.api.report import CampaignReport, MeasurementRecord, RoundRecord
+from repro.api.scenario import ResolvedScenario, Scenario
+from repro.core.allocation import MeasurerAssignment, allocate_capacity, total_allocated
+from repro.core.bwauth import FlashFlowAuthority
+from repro.core.deployment import Deployment
+from repro.core.engine import (
+    MeasurementEngine,
+    MeasurementNoise,
+    MeasurementSpec,
+)
+from repro.core.netmeasure import (
+    CampaignResult,
+    normalize_background_demand,
+)
+from repro.rng import fork
+from repro.tornet.network import TorNetwork
+from repro.tornet.relay import Relay
+
+
+@dataclass
+class _Job:
+    """One scheduled measurement of a campaign round."""
+
+    fingerprint: str
+    z0: float
+    rounds: int
+    slot_index: int
+    relay: Relay
+    capped: bool
+    assignments: list[MeasurerAssignment]
+    background: float | Callable[[int], float]
+    #: Pre-drawn analytic measurement-error factor (analytic mode only).
+    wobble: float | None = None
+
+
+def run_period_rounds(
+    network: TorNetwork,
+    authority: FlashFlowAuthority,
+    priors: dict[str, float],
+    background: float | dict[str, float] | Callable[[int], float],
+    execution: ExecutionConfig,
+    noise: MeasurementNoise | None = None,
+    engine: MeasurementEngine | None = None,
+    period_index: int = 0,
+    rounds_out: list[RoundRecord] | None = None,
+) -> Iterator[CampaignEvent]:
+    """Run one measurement period as a round-event generator.
+
+    Yields :class:`RoundPlanned` / :class:`RoundCompleted` events and
+    *returns* (via ``StopIteration.value`` / ``yield from``) the
+    period's :class:`CampaignResult`. This generator is the single
+    implementation of the campaign loop; the ``measure_network`` shim
+    drains it without observers and every ``Campaign`` streams it.
+
+    Semantics are op-for-op those of the historical ``measure_network``
+    body: the analytic-wobble RNG forks from ``(authority.seed,
+    "campaign-analytic")`` and draws in job-packing order, measurement
+    seeds derive from slot index and attempt, accepted estimates are
+    folded into ``authority.estimates``, and retries are
+    round-granular. ``period_index`` labels events only -- it does not
+    enter seeds or specs, so re-running a period reproduces the exact
+    historical deployment behaviour (stateful relays still evolve
+    between periods).
+    """
+    params = authority.params
+    team = authority.team
+    team_capacity = authority.team_capacity()
+    result = CampaignResult(slot_seconds=params.slot_seconds)
+    rng = fork(authority.seed, "campaign-analytic")
+    if engine is None:
+        engine = getattr(authority, "engine", None) or MeasurementEngine()
+    background_for = normalize_background_demand(background)
+
+    old = [fp for fp in network.relays if fp in priors]
+    new = [fp for fp in network.relays if fp not in priors]
+    # Old relays first (guaranteed measurement), then new FCFS; within
+    # each class, largest guess first to pack slots tightly.
+    old.sort(key=lambda fp: priors[fp], reverse=True)
+    queue: deque[tuple[str, float, int]] = deque(
+        [(fp, priors[fp], 0) for fp in old]
+        + [(fp, params.new_relay_seed, 0) for fp in new]
+    )
+
+    def required_for(z0: float) -> float:
+        return min(params.allocation_factor * max(z0, 1.0), team_capacity)
+
+    slot_index = 0
+    round_index = 0
+    while queue:
+        # --- Pack the whole waiting queue into consecutive slots ------
+        # Every queued relay is independent of the others' outcomes, so
+        # a round's slots can all be planned up front and run
+        # concurrently.
+        first_slot = slot_index
+        jobs: list[_Job] = []
+        waiting = queue
+        while waiting:
+            residual = team_capacity
+            this_slot: list[tuple[str, float, int]] = []
+            deferred: deque[tuple[str, float, int]] = deque()
+            while waiting:
+                fp, z0, rounds = waiting.popleft()
+                if required_for(z0) <= residual + 1e-6:
+                    this_slot.append((fp, z0, rounds))
+                    residual -= required_for(z0)
+                else:
+                    deferred.append((fp, z0, rounds))
+            if not this_slot:
+                # Should be unreachable: required is capped at team capacity.
+                this_slot.append(deferred.popleft())
+
+            for fp, z0, rounds in this_slot:
+                required = required_for(z0)
+                jobs.append(
+                    _Job(
+                        fingerprint=fp,
+                        z0=z0,
+                        rounds=rounds,
+                        slot_index=slot_index,
+                        relay=network[fp],
+                        capped=required < params.allocation_factor * z0,
+                        assignments=allocate_capacity(team, required),
+                        background=background_for(fp),
+                        wobble=(
+                            None
+                            if execution.full_simulation
+                            else max(
+                                0.8,
+                                rng.gauss(1.0, execution.analytic_error_std),
+                            )
+                        ),
+                    )
+                )
+            slot_index += 1
+            waiting = deferred
+
+        yield RoundPlanned(
+            period_index=period_index,
+            round_index=round_index,
+            n_jobs=len(jobs),
+            first_slot=first_slot,
+            slots_packed=slot_index - first_slot,
+        )
+
+        # --- Execute the round ----------------------------------------
+        started = time.perf_counter()
+        if execution.full_simulation:
+            specs = [
+                MeasurementSpec(
+                    target=job.relay,
+                    assignments=job.assignments,
+                    params=params,
+                    network=authority.network,
+                    background_demand=job.background,
+                    seed=authority.seed + job.slot_index * 7919 + job.rounds,
+                    bwauth_id=authority.name,
+                    period_index=0,
+                    enforce_admission=False,
+                    noise=noise,
+                )
+                for job in jobs
+            ]
+            outcomes = engine.run_many(
+                specs,
+                max_workers=execution.max_workers,
+                backend=execution.backend,
+            )
+            results = [
+                (o.estimate, o.failed, o.failure_reason, o.cells_checked)
+                for o in outcomes
+            ]
+        else:
+            results = [
+                (
+                    engine.analytic_estimate(
+                        job.relay, job.assignments, params, job.wobble
+                    ),
+                    False,
+                    None,
+                    0,
+                )
+                for job in jobs
+            ]
+
+        # --- Fold outcomes back in deterministic slot order -----------
+        record = RoundRecord(
+            period_index=period_index,
+            round_index=round_index,
+            first_slot=first_slot,
+            slots_packed=slot_index - first_slot,
+        )
+        retries: deque[tuple[str, float, int]] = deque()
+        for job, (z, failed, reason, cells_checked) in zip(jobs, results):
+            result.measurements_run += 1
+            measurement = MeasurementRecord(
+                period_index=period_index,
+                round_index=round_index,
+                slot_index=job.slot_index,
+                fingerprint=job.fingerprint,
+                attempt=job.rounds,
+                planned_estimate=job.z0,
+                estimate=z,
+                failed=failed,
+                failure_reason=reason,
+                cells_checked=cells_checked,
+                settled=execution.full_simulation and not failed,
+            )
+            record.measurements.append(measurement)
+            if failed:
+                result.failures[job.fingerprint] = reason or "measurement failed"
+                continue
+            threshold = params.acceptance_threshold(
+                total_allocated(job.assignments)
+            )
+            if z < threshold or job.capped:
+                result.estimates[job.fingerprint] = z
+                authority.estimates[job.fingerprint] = z
+                measurement.accepted = True
+            elif job.rounds + 1 >= execution.max_rounds:
+                result.failures[job.fingerprint] = "did not converge"
+                measurement.failed = True
+                measurement.failure_reason = "did not converge"
+            else:
+                retries.append(
+                    (job.fingerprint, max(z, 2.0 * job.z0), job.rounds + 1)
+                )
+                measurement.retried = True
+        record.wall_seconds = time.perf_counter() - started
+        if rounds_out is not None:
+            rounds_out.append(record)
+        yield RoundCompleted(
+            period_index=period_index,
+            round_index=round_index,
+            record=record,
+        )
+        queue = retries
+        round_index += 1
+
+    result.slots_elapsed = slot_index
+    return result
+
+
+class Campaign:
+    """A runnable (scenario, execution) pair.
+
+    >>> from repro.api import Campaign, ExecutionConfig, Scenario
+    >>> report = Campaign(Scenario(), ExecutionConfig()).run()
+
+    ``engine`` overrides the authority's shared
+    :class:`MeasurementEngine` (benches use this to re-time historical
+    execution paths); almost all callers leave it None.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        execution: ExecutionConfig | None = None,
+        engine: MeasurementEngine | None = None,
+    ):
+        self.scenario = scenario
+        self.execution = execution or ExecutionConfig()
+        self.engine = engine
+        #: Set when a run completes (also delivered via
+        #: :class:`CampaignCompleted` and returned from :meth:`run`).
+        self.report: CampaignReport | None = None
+        #: The most recent run's resolved scenario (live objects).
+        self.resolved: ResolvedScenario | None = None
+
+    def iter_rounds(self) -> Iterator[CampaignEvent]:
+        """Stream the campaign: resolve, run every period, yield events.
+
+        The final event is :class:`CampaignCompleted` carrying the
+        report; afterwards ``self.report`` is set.
+        """
+        scenario, execution = self.scenario, self.execution
+        resolved = scenario.resolve()
+        self.resolved = resolved
+        self.report = None
+        network, authority = resolved.network, resolved.authority
+        started = time.perf_counter()
+
+        yield CampaignStarted(
+            scenario_name=scenario.name,
+            n_relays=len(network),
+            n_measurers=len(authority.team),
+            team_capacity=authority.team_capacity(),
+            periods=scenario.periods,
+            backend=execution.backend,
+        )
+
+        rounds: list[RoundRecord] = []
+        period_results: list[CampaignResult] = []
+        deployment_records: list = []
+        result: CampaignResult | None = None
+
+        if scenario.periods == 1:
+            yield PeriodStarted(
+                period_index=0,
+                n_relays=len(network),
+                n_priors=len(resolved.priors),
+            )
+            result = yield from run_period_rounds(
+                network,
+                authority,
+                resolved.priors,
+                resolved.background,
+                execution,
+                noise=resolved.noise,
+                engine=self.engine,
+                period_index=0,
+                rounds_out=rounds,
+            )
+            yield PeriodCompleted(period_index=0, result=result)
+        else:
+            # The deployment owns prior carryover and estimate aging;
+            # the campaign streams each period's rounds through it.
+            deployment = Deployment(
+                authority=authority,
+                full_simulation=execution.full_simulation,
+            )
+            for period_index in range(scenario.periods):
+                priors = deployment.priors_for(network)
+                if period_index == 0:
+                    priors = {**resolved.priors, **priors}
+                yield PeriodStarted(
+                    period_index=period_index,
+                    n_relays=len(network),
+                    n_priors=len(priors),
+                )
+                result = yield from run_period_rounds(
+                    network,
+                    authority,
+                    priors,
+                    resolved.background,
+                    execution,
+                    noise=resolved.noise,
+                    engine=self.engine,
+                    period_index=period_index,
+                    rounds_out=rounds,
+                )
+                period_results.append(result)
+                deployment_record = deployment.record_period(result)
+                deployment_records.append(deployment_record)
+                yield PeriodCompleted(
+                    period_index=period_index,
+                    result=result,
+                    deployment_record=deployment_record,
+                )
+
+        report = CampaignReport(
+            scenario_name=scenario.name,
+            result=result,
+            rounds=rounds,
+            period_results=period_results,
+            deployment_records=deployment_records,
+            ground_truth=resolved.ground_truth,
+            adversaries=resolved.adversaries,
+            wall_seconds=time.perf_counter() - started,
+        )
+        self.report = report
+        yield CampaignCompleted(report=report)
+
+    def run(
+        self, observers: Sequence[CampaignObserver] = ()
+    ) -> CampaignReport:
+        """Run to completion, dispatching every event to ``observers``."""
+        observers = list(observers)
+        for event in self.iter_rounds():
+            for observer in observers:
+                observer.on_event(event)
+        assert self.report is not None
+        return self.report

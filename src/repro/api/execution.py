@@ -1,0 +1,76 @@
+"""How a campaign is executed, separated from what it measures.
+
+:class:`ExecutionConfig` collects every knob that affects *how* a
+campaign runs -- kernel backend, worker count, full vs analytic
+simulation, retry budget -- and none that affect *what* is measured
+(that is :class:`repro.api.scenario.Scenario`). The same scenario run
+under any execution config produces bit-identical estimates; execution
+only selects scheduling and the level of per-second detail.
+
+This replaces the loose kwarg tail ``measure_network(...,
+full_simulation=, max_rounds=, analytic_error_std=, max_workers=,
+backend=)`` with one validated, frozen object that threads cleanly down
+to :class:`repro.core.engine.MeasurementEngine` and
+:mod:`repro.kernel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+#: Backend names the kernel registry ships with; ``None`` defers to
+#: ``FlashFlowParams.kernel_backend`` / ``FLASHFLOW_KERNEL_BACKEND`` /
+#: ``auto``. Third-party backends registered via
+#: :func:`repro.kernel.register_backend` are also accepted.
+KNOWN_BACKENDS = ("serial", "thread", "process", "vector", "auto")
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Execution policy for one campaign run.
+
+    Every field is semantics-preserving: estimates are bit-identical
+    for any ``backend``/``max_workers`` choice, and ``full_simulation``
+    switches between the per-second traffic walk and the engine's
+    analytic accept/retry model (used by scheduling-efficiency studies
+    where only slot accounting matters).
+    """
+
+    #: Kernel execution backend (:mod:`repro.kernel.backends`). ``None``
+    #: defers to params/environment, then ``auto``.
+    backend: str | None = None
+    #: Engine worker-count cap (``None`` = engine default, ``1`` = serial).
+    max_workers: int | None = None
+    #: Per-second traffic simulation (True) vs the analytic fast path.
+    full_simulation: bool = True
+    #: Maximum measurement attempts per relay before "did not converge".
+    max_rounds: int = 8
+    #: Std-dev of the analytic path's pre-drawn measurement-error factor.
+    analytic_error_std: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.backend is not None:
+            if not isinstance(self.backend, str) or not self.backend:
+                raise ConfigurationError(
+                    "backend must be a kernel backend name or None"
+                )
+            from repro.kernel import backend_names
+
+            known = set(KNOWN_BACKENDS) | set(backend_names())
+            if self.backend not in known:
+                raise ConfigurationError(
+                    f"unknown kernel backend {self.backend!r}; "
+                    f"known: {sorted(known)}"
+                )
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ConfigurationError("max_workers must be >= 1 or None")
+        if self.max_rounds < 1:
+            raise ConfigurationError("max_rounds must be >= 1")
+        if self.analytic_error_std < 0:
+            raise ConfigurationError("analytic_error_std must be >= 0")
+
+    def with_backend(self, backend: str | None) -> "ExecutionConfig":
+        """A copy of this config on a different kernel backend."""
+        return replace(self, backend=backend)

@@ -9,15 +9,24 @@ again), and publishes a bandwidth file per period.
 This is the loop the paper's security arguments lean on: relays are
 re-measured every period, so a malicious relay "can only reduce its
 capacity until the next period".
+
+The period's measurement campaign runs through the scenario API
+(:class:`repro.api.Campaign`); multi-period scenarios
+(``Scenario(periods=N)``) drive this class's prior-carryover and aging
+bookkeeping (:meth:`priors_for` / :meth:`record_period`) directly while
+streaming per-round events, and :meth:`run_period` remains the
+single-period entry point with its historical signature and
+bit-identical results.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.bwauth import FlashFlowAuthority
 from repro.core.bwfile import BandwidthFile
-from repro.core.netmeasure import CampaignResult, measure_network
+from repro.core.netmeasure import CampaignResult, run_campaign
 from repro.tornet.network import TorNetwork
 from repro.units import DAY
 
@@ -63,25 +72,17 @@ class Deployment:
             if now - measured_at <= ESTIMATE_MAX_AGE_PERIODS
         }
 
-    def run_period(
-        self,
-        network: TorNetwork,
-        background_demand: float | dict[str, float] = 0.0,
-    ) -> PeriodRecord:
-        """Measure every relay currently in ``network`` once."""
-        period_index = self.current_period
-        priors = {
+    def priors_for(self, network: TorNetwork) -> dict[str, float]:
+        """Usable priors for the relays currently in ``network``."""
+        return {
             fp: estimate
             for fp, estimate in self.known_estimates().items()
             if fp in network
         }
-        campaign = measure_network(
-            network,
-            self.authority,
-            prior_estimates=priors,
-            background_demand=background_demand,
-            full_simulation=self.full_simulation,
-        )
+
+    def record_period(self, campaign: CampaignResult) -> PeriodRecord:
+        """Fold one finished campaign into history; publish its bwfile."""
+        period_index = self.current_period
         for fp, estimate in campaign.estimates.items():
             self._history[fp] = (estimate, period_index)
         bwfile = BandwidthFile.from_estimates(
@@ -94,6 +95,27 @@ class Deployment:
         )
         self.periods.append(record)
         return record
+
+    def run_period(
+        self,
+        network: TorNetwork,
+        background_demand: float | dict[str, float] | Callable[[int], float] = 0.0,
+    ) -> PeriodRecord:
+        """Measure every relay currently in ``network`` once.
+
+        Thin wrapper over the scenario API: for streamed events or
+        execution knobs (kernel backend, worker cap), run a
+        ``Scenario(periods=N)`` through :class:`repro.api.Campaign`
+        instead -- results are bit-identical.
+        """
+        report = run_campaign(
+            network,
+            self.authority,
+            prior_estimates=self.priors_for(network),
+            background_demand=background_demand,
+            full_simulation=self.full_simulation,
+        )
+        return self.record_period(report.result)
 
     def estimate_age(self, fingerprint: str) -> int | None:
         """Completed periods since ``fingerprint`` was last measured.

@@ -1,48 +1,43 @@
 """Full-network measurement campaigns (paper §4.3, §7).
 
-Runs one BWAuth's measurement of an entire network. Each campaign
-*round* packs every waiting relay into consecutive t-second slots
-greedily (largest first, the paper's efficiency scheduler); all
-measurements of the round -- within a slot and across the round's
-independent slots -- are then executed concurrently by the
-:class:`repro.core.engine.MeasurementEngine` (``run_many``), which
-lowers the round onto the vectorized measurement kernel
-(:mod:`repro.kernel`: compiled per-second capacity series walked as
-numpy arrays on a ``serial``/``thread``/``process``/``vector`` backend).
-Per-measurement forked RNG streams make the results bit-identical to
-serial stateful execution regardless of backend or worker count.
-Outcomes are folded back in deterministic slot order; inconclusive
-relays re-enter the next round with a doubled estimate.
+The campaign loop itself lives in :mod:`repro.api.campaign` (the
+scenario-driven front door): each campaign *round* packs every waiting
+relay into consecutive t-second slots greedily (largest first, the
+paper's efficiency scheduler); all measurements of the round are
+executed concurrently by the :class:`repro.core.engine.\
+MeasurementEngine` (``run_many``), which lowers the round onto the
+vectorized measurement kernel (:mod:`repro.kernel`). Outcomes fold
+back in deterministic slot order; inconclusive relays re-enter the
+next round with a doubled estimate.
 
-Retries are *round-granular*: an inconclusive relay is re-measured after
-the current round's remaining slots rather than squeezed into the next
-slot's residual capacity (the pre-engine serial loop's behaviour). This
-is what makes a round's slots mutually independent and concurrently
-executable; the cost is that a campaign with retries may occupy a few
-more slots, and per-measurement seeds (slot-index derived) shift for
-retried relays. Estimates remain draws from the same distribution, and
-for a fixed worker count the whole campaign is deterministic.
+Retries are *round-granular*: an inconclusive relay is re-measured
+after the current round's remaining slots rather than squeezed into the
+next slot's residual capacity (the pre-engine serial loop's behaviour).
+This is what makes a round's slots mutually independent and
+concurrently executable; the cost is that a campaign with retries may
+occupy a few more slots, and per-measurement seeds (slot-index derived)
+shift for retried relays. Estimates remain draws from the same
+distribution, and for a fixed worker count the whole campaign is
+deterministic.
 
-``full_simulation=False`` skips the per-second traffic loop and applies
-the protocol's accept/retry logic against the engine's analytic
-measurement model (:meth:`MeasurementEngine.analytic_estimate`); it is
-used by the scheduling-efficiency benches where only slot counts matter.
-The analytic wobble factors are pre-drawn serially in slot order, so the
-analytic path is equally worker-count independent.
+:func:`measure_network` remains as a thin deprecation shim with the
+historical signature -- bit-identical results, loose execution kwargs
+deprecated in favour of :class:`repro.api.ExecutionConfig`.
 """
 
 from __future__ import annotations
 
-from collections import deque
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
-from repro.core.allocation import MeasurerAssignment, allocate_capacity, total_allocated
 from repro.core.bwauth import FlashFlowAuthority
-from repro.core.engine import MeasurementEngine, MeasurementNoise, MeasurementSpec
-from repro.rng import fork
+from repro.core.engine import MeasurementEngine, MeasurementNoise
+from repro.errors import ConfigurationError
 from repro.tornet.network import TorNetwork
-from repro.tornet.relay import Relay
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api -> core)
+    from repro.api.report import CampaignReport
 
 
 @dataclass
@@ -72,20 +67,38 @@ class CampaignResult:
         return self.seconds_elapsed / 3600.0
 
 
-@dataclass
-class _Job:
-    """One scheduled measurement of a campaign round."""
+def normalize_background_demand(
+    background_demand: float | dict[str, float] | Callable[[int], float],
+) -> Callable[[str], float | Callable[[int], float]]:
+    """Collapse the three background-traffic forms into one resolver.
 
-    fingerprint: str
-    z0: float
-    rounds: int
-    slot_index: int
-    relay: Relay
-    capped: bool
-    assignments: list[MeasurerAssignment]
-    background: float | Callable[[int], float]
-    #: Pre-drawn analytic measurement-error factor (analytic mode only).
-    wobble: float | None = None
+    ``background_demand`` may be a constant (bit/s at every relay), a
+    per-fingerprint dict (relays absent from it see zero), or a
+    callable of the measurement second (applied identically at every
+    relay). Returns ``fingerprint -> per-relay demand`` where the
+    per-relay demand is itself a constant or a callable of time --
+    exactly what :class:`repro.core.engine.MeasurementSpec.\
+background_demand` accepts. Every campaign path resolves backgrounds
+    through this one helper, so the three forms are interchangeable:
+    equivalent inputs produce bit-identical estimates.
+    """
+    if isinstance(background_demand, dict):
+        table = background_demand
+        return lambda fp: table.get(fp, 0.0)
+    if callable(background_demand):
+        return lambda fp: background_demand
+    if isinstance(background_demand, (int, float)) and not isinstance(
+        background_demand, bool
+    ):
+        # Values are passed through unvalidated for all three forms
+        # alike (the engine clamps per second); only the *shape* is
+        # checked here.
+        value = float(background_demand)
+        return lambda fp: value
+    raise ConfigurationError(
+        "background_demand must be a constant (bit/s), a per-fingerprint "
+        f"dict, or a callable of the second; got {type(background_demand)!r}"
+    )
 
 
 def measure_network(
@@ -103,144 +116,83 @@ def measure_network(
 ) -> CampaignResult:
     """Measure every relay in ``network`` once (one measurement period).
 
-    ``prior_estimates`` supplies z0 for old relays (fingerprint -> bit/s);
-    relays absent from it are treated as new and seeded from
+    .. deprecated::
+        This is a compatibility shim over :class:`repro.api.Campaign`
+        (results are bit-identical). Passing the loose execution kwargs
+        ``max_workers=``/``backend=``/``engine=`` here emits a
+        :class:`DeprecationWarning`; use ``Campaign(Scenario(...),
+        ExecutionConfig(...))`` instead.
+
+    ``prior_estimates`` supplies z0 for old relays (fingerprint ->
+    bit/s); relays absent from it are treated as new and seeded from
     ``params.new_relay_seed``. Old relays are scheduled before new ones
     (paper §4.3 priority). ``background_demand`` may be a constant, a
-    callable of time, or a per-fingerprint dict (bit/s of client traffic
-    present at each relay during its measurement).
-
-    ``max_workers`` caps the engine's concurrency (``None`` = engine
-    default, ``1`` = serial); ``backend`` selects the kernel execution
-    backend (``serial``/``thread``/``process``/``vector``; ``None``
-    defers to params/environment). The estimates are identical for every
-    backend and worker count.
+    callable of time, or a per-fingerprint dict (see
+    :func:`normalize_background_demand`). Estimates are identical for
+    every backend and worker count.
     """
-    params = authority.params
-    team = authority.team
-    team_capacity = authority.team_capacity()
-    prior = prior_estimates or {}
-    result = CampaignResult(slot_seconds=params.slot_seconds)
-    rng = fork(authority.seed, "campaign-analytic")
-    if engine is None:
-        engine = getattr(authority, "engine", None) or MeasurementEngine()
-
-    old = [fp for fp in network.relays if fp in prior]
-    new = [fp for fp in network.relays if fp not in prior]
-    # Old relays first (guaranteed measurement), then new FCFS; within each
-    # class, largest guess first to pack slots tightly.
-    old.sort(key=lambda fp: prior[fp], reverse=True)
-    queue: deque[tuple[str, float, int]] = deque(
-        [(fp, prior[fp], 0) for fp in old]
-        + [(fp, params.new_relay_seed, 0) for fp in new]
+    if backend is not None or max_workers is not None or engine is not None:
+        warnings.warn(
+            "measure_network(..., backend=, max_workers=, engine=) is "
+            "deprecated; describe the workload with repro.api.Scenario "
+            "and the execution policy with repro.api.ExecutionConfig, "
+            "then run it via repro.api.Campaign",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    report = run_campaign(
+        network,
+        authority,
+        prior_estimates=prior_estimates,
+        background_demand=background_demand,
+        max_rounds=max_rounds,
+        full_simulation=full_simulation,
+        noise=noise,
+        analytic_error_std=analytic_error_std,
+        max_workers=max_workers,
+        engine=engine,
+        backend=backend,
     )
+    return report.result
 
-    def required_for(z0: float) -> float:
-        return min(params.allocation_factor * max(z0, 1.0), team_capacity)
 
-    slot_index = 0
-    while queue:
-        # --- Pack the whole waiting queue into consecutive slots -------
-        # Every queued relay is independent of the others' outcomes, so a
-        # round's slots can all be planned up front and run concurrently.
-        jobs: list[_Job] = []
-        waiting = queue
-        while waiting:
-            residual = team_capacity
-            this_slot: list[tuple[str, float, int]] = []
-            deferred: deque[tuple[str, float, int]] = deque()
-            while waiting:
-                fp, z0, rounds = waiting.popleft()
-                if required_for(z0) <= residual + 1e-6:
-                    this_slot.append((fp, z0, rounds))
-                    residual -= required_for(z0)
-                else:
-                    deferred.append((fp, z0, rounds))
-            if not this_slot:
-                # Should be unreachable: required is capped at team capacity.
-                this_slot.append(deferred.popleft())
+def run_campaign(
+    network: TorNetwork,
+    authority: FlashFlowAuthority,
+    prior_estimates: dict[str, float] | None = None,
+    background_demand: float | dict[str, float] | Callable[[int], float] = 0.0,
+    max_rounds: int = 8,
+    full_simulation: bool = True,
+    noise: MeasurementNoise | None = None,
+    analytic_error_std: float = 0.02,
+    max_workers: int | None = None,
+    engine: MeasurementEngine | None = None,
+    backend: str | None = None,
+) -> "CampaignReport":
+    """One-period campaign over existing objects, through the API.
 
-            for fp, z0, rounds in this_slot:
-                required = required_for(z0)
-                jobs.append(
-                    _Job(
-                        fingerprint=fp,
-                        z0=z0,
-                        rounds=rounds,
-                        slot_index=slot_index,
-                        relay=network[fp],
-                        capped=required < params.allocation_factor * z0,
-                        assignments=allocate_capacity(team, required),
-                        background=(
-                            background_demand.get(fp, 0.0)
-                            if isinstance(background_demand, dict)
-                            else background_demand
-                        ),
-                        wobble=(
-                            None
-                            if full_simulation
-                            else max(0.8, rng.gauss(1.0, analytic_error_std))
-                        ),
-                    )
-                )
-            slot_index += 1
-            waiting = deferred
+    Internal rewiring helper shared by the :func:`measure_network` shim
+    and :meth:`repro.core.deployment.Deployment.run_period`: wraps the
+    live ``network``/``authority`` in a :class:`repro.api.Scenario`,
+    maps the execution knobs onto :class:`repro.api.ExecutionConfig`,
+    and runs a :class:`repro.api.Campaign` (no observers). Returns the
+    full :class:`repro.api.report.CampaignReport`.
+    """
+    from repro.api import Campaign, ExecutionConfig, Scenario
 
-        # --- Execute the round ----------------------------------------
-        if full_simulation:
-            specs = [
-                MeasurementSpec(
-                    target=job.relay,
-                    assignments=job.assignments,
-                    params=params,
-                    network=authority.network,
-                    background_demand=job.background,
-                    seed=authority.seed + job.slot_index * 7919 + job.rounds,
-                    bwauth_id=authority.name,
-                    period_index=0,
-                    enforce_admission=False,
-                    noise=noise,
-                )
-                for job in jobs
-            ]
-            outcomes = engine.run_many(
-                specs, max_workers=max_workers, backend=backend
-            )
-            results = [
-                (o.estimate, o.failed, o.failure_reason) for o in outcomes
-            ]
-        else:
-            results = [
-                (
-                    engine.analytic_estimate(
-                        job.relay, job.assignments, params, job.wobble
-                    ),
-                    False,
-                    None,
-                )
-                for job in jobs
-            ]
-
-        # --- Fold outcomes back in deterministic slot order -----------
-        retries: deque[tuple[str, float, int]] = deque()
-        for job, (z, failed, reason) in zip(jobs, results):
-            result.measurements_run += 1
-            if failed:
-                result.failures[job.fingerprint] = reason or "measurement failed"
-                continue
-            threshold = params.acceptance_threshold(
-                total_allocated(job.assignments)
-            )
-            if z < threshold or job.capped:
-                result.estimates[job.fingerprint] = z
-                authority.estimates[job.fingerprint] = z
-            elif job.rounds + 1 >= max_rounds:
-                result.failures[job.fingerprint] = "did not converge"
-            else:
-                retries.append(
-                    (job.fingerprint, max(z, 2.0 * job.z0), job.rounds + 1)
-                )
-        queue = retries
-
-    result.slots_elapsed = slot_index
-    return result
+    scenario = Scenario(
+        name="measure-network",
+        network=network,
+        team=authority,
+        priors=dict(prior_estimates) if prior_estimates else None,
+        background=background_demand,
+        noise=noise,
+    )
+    execution = ExecutionConfig(
+        backend=backend,
+        max_workers=max_workers,
+        full_simulation=full_simulation,
+        max_rounds=max_rounds,
+        analytic_error_std=analytic_error_std,
+    )
+    return Campaign(scenario, execution, engine=engine).run()

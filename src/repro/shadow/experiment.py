@@ -27,7 +27,6 @@ import numpy as np
 
 from repro import quick_team
 from repro.core.measurement import MeasurementNoise
-from repro.core.netmeasure import measure_network
 from repro.core.params import FlashFlowParams
 from repro.rng import fork
 from repro.shadow.config import ShadowConfig, ShadowNetwork, build_network
@@ -170,12 +169,16 @@ def flashflow_weights_for(
 ) -> dict[str, float]:
     """Run the FlashFlow pipeline: 3 x 1 Gbit/s team measures everything.
 
-    The whole-network measurement runs through the authority's shared
-    :class:`MeasurementEngine` and the vectorized kernel -- each campaign
-    round is one batched array walk (or a ``thread``/``process`` pool via
-    ``backend``) rather than a hand-rolled per-relay loop. Estimates are
-    bit-identical for every backend/worker choice.
+    The measurement phase is one scenario-API campaign
+    (:class:`repro.api.Campaign`): the whole-network measurement runs
+    through the authority's shared :class:`MeasurementEngine` and the
+    vectorized kernel -- each campaign round is one batched array walk
+    (or a ``thread``/``process`` pool via ``backend``) rather than a
+    hand-rolled per-relay loop. Estimates are bit-identical for every
+    backend/worker choice.
     """
+    from repro.api import Campaign, ExecutionConfig, Scenario
+
     authority = quick_team(
         n_measurers=3, capacity_each=gbit(1.0), params=params, seed=seed
     )
@@ -189,17 +192,18 @@ def flashflow_weights_for(
         * max(0.0, rng.gauss(1.0, 0.4))
         for fp, relay in network.relays.relays.items()
     }
-    result = measure_network(
-        network.relays,
-        authority,
-        prior_estimates=None,
-        background_demand=background,
-        full_simulation=True,
-        noise=SHADOW_MEASUREMENT_NOISE,
-        max_workers=max_workers,
-        backend=backend,
-    )
-    return dict(result.estimates)
+    report = Campaign(
+        Scenario(
+            name="shadow-flashflow-weights",
+            network=network.relays,
+            team=authority,
+            priors=None,
+            background=background,
+            noise=SHADOW_MEASUREMENT_NOISE,
+        ),
+        ExecutionConfig(backend=backend, max_workers=max_workers),
+    ).run()
+    return dict(report.estimates)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,118 @@
+"""Event streaming, observers, and the CampaignReport superset."""
+
+import io
+
+import pytest
+
+from repro.api import (
+    Campaign,
+    CampaignCompleted,
+    CampaignObserver,
+    CampaignStarted,
+    ExecutionConfig,
+    MetricsObserver,
+    NetworkSpec,
+    PeriodCompleted,
+    PeriodStarted,
+    ProgressObserver,
+    RoundCompleted,
+    RoundPlanned,
+    Scenario,
+    TimingObserver,
+)
+
+
+@pytest.fixture
+def small_scenario():
+    return Scenario(name="events-test", network=NetworkSpec(n_relays=6), seed=3)
+
+
+def test_iter_rounds_event_stream_shape(small_scenario):
+    campaign = Campaign(small_scenario, ExecutionConfig())
+    events = list(campaign.iter_rounds())
+    assert isinstance(events[0], CampaignStarted)
+    assert isinstance(events[1], PeriodStarted)
+    assert isinstance(events[-1], CampaignCompleted)
+    assert isinstance(events[-2], PeriodCompleted)
+    planned = [e for e in events if isinstance(e, RoundPlanned)]
+    completed = [e for e in events if isinstance(e, RoundCompleted)]
+    assert len(planned) == len(completed) >= 1
+    for plan, done in zip(planned, completed):
+        assert plan.round_index == done.round_index
+        assert plan.n_jobs == len(done.record.measurements)
+        assert plan.slots_packed == done.record.slots_packed
+    report = campaign.report
+    assert report is events[-1].report
+    assert report.measurements_run == sum(p.n_jobs for p in planned)
+    assert report.slots_elapsed == sum(p.slots_packed for p in planned)
+
+
+def test_observers_do_not_change_results(small_scenario):
+    bare = Campaign(small_scenario, ExecutionConfig()).run()
+    observed = Campaign(small_scenario, ExecutionConfig()).run(
+        observers=[
+            ProgressObserver(stream=io.StringIO()),
+            MetricsObserver(),
+            TimingObserver(),
+        ]
+    )
+    assert observed.estimates == bare.estimates
+    assert observed.slots_elapsed == bare.slots_elapsed
+
+
+def test_metrics_and_timing_observers_collect(small_scenario):
+    metrics, timing = MetricsObserver(), TimingObserver()
+    stream = io.StringIO()
+    report = Campaign(small_scenario, ExecutionConfig()).run(
+        observers=[ProgressObserver(stream=stream), metrics, timing]
+    )
+    summary = metrics.summary()
+    assert summary["measurements"] == report.measurements_run
+    assert summary["accepted"] == len(report.estimates)
+    assert summary["cells_checked"] == report.cells_checked > 0
+    assert timing.total_seconds > 0
+    assert len(timing.round_seconds) == len(report.rounds)
+    out = stream.getvalue()
+    assert "[events-test]" in out
+    assert "round 0" in out
+
+
+def test_unknown_events_are_ignored_by_base_observer():
+    class Weird:
+        kind = "never-seen"
+
+    observer = CampaignObserver()
+    observer.on_event(Weird())  # must not raise
+
+
+def test_report_superset_fields(small_scenario):
+    report = Campaign(small_scenario, ExecutionConfig()).run()
+    # CampaignResult-compatible surface
+    assert report.estimates == report.result.estimates
+    assert report.seconds_elapsed == report.slots_elapsed * 30
+    assert report.hours_elapsed == pytest.approx(
+        report.seconds_elapsed / 3600.0
+    )
+    # Timeline and truth error
+    timeline = report.timeline()
+    assert len(timeline) == report.measurements_run
+    assert all(m.accepted or m.retried or m.failed for m in timeline)
+    errors = report.error_vs_truth()
+    assert set(errors) == set(report.ground_truth)
+    assert 0 <= report.median_error_vs_truth() < 0.5
+    stats = report.verification_stats()
+    assert stats["cells_checked"] == report.cells_checked
+    assert stats["verification_failures"] == 0
+    summary = report.to_dict()
+    assert summary["scenario"] == "events-test"
+    assert summary["measurements_run"] == report.measurements_run
+
+
+def test_settled_marks_full_simulation_measurements(small_scenario):
+    full = Campaign(small_scenario, ExecutionConfig()).run()
+    assert all(m.settled for m in full.timeline() if not m.failed)
+    analytic = Campaign(
+        small_scenario, ExecutionConfig(full_simulation=False)
+    ).run()
+    assert not any(m.settled for m in analytic.timeline())
+    assert analytic.cells_checked == 0

@@ -1,0 +1,152 @@
+"""Multi-period deployments end-to-end: carryover, aging, per-period files.
+
+Drives :meth:`Deployment.run_period`'s prior-aging and
+estimate-carryover through the new multi-period scenario
+(``Scenario(periods=N)`` / the registered ``multi-period-deployment``),
+which was previously untested end-to-end.
+"""
+
+import pytest
+
+from repro import quick_team
+from repro.api import (
+    Campaign,
+    ExecutionConfig,
+    PeriodCompleted,
+    run_scenario,
+)
+from repro.core.deployment import ESTIMATE_MAX_AGE_PERIODS, Deployment
+from repro.tornet.network import TorNetwork, synthesize_network
+from repro.tornet.relay import Relay
+from repro.units import mbit
+
+ANALYTIC = ExecutionConfig(full_simulation=False)
+
+
+def test_multi_period_scenario_carries_estimates_forward():
+    report = run_scenario(
+        "multi-period-deployment", n_relays=8, periods=3, execution=ANALYTIC
+    )
+    assert report.n_periods == 3
+    cold, *warm = report.period_results
+    # Period 0 starts cold (no priors): retries push measurements above
+    # the relay count. Later periods reuse the previous estimates as z0,
+    # so every relay concludes in one measurement.
+    assert cold.measurements_run > 8
+    for result in warm:
+        # Warm-started periods need (far) fewer measurements than the
+        # cold first period -- most relays conclude in one slot.
+        assert 8 <= result.measurements_run < cold.measurements_run
+        assert result.slots_elapsed <= cold.slots_elapsed
+        assert set(result.estimates) == set(cold.estimates)
+    # The carried-forward priors came from the previous period verbatim.
+    rounds_by_period = {}
+    for record in report.rounds:
+        rounds_by_period.setdefault(record.period_index, []).append(record)
+    for period_index, rounds in rounds_by_period.items():
+        if period_index == 0:
+            continue
+        previous = report.period_results[period_index - 1].estimates
+        for m in rounds[0].measurements:  # first round: every z0 a prior
+            assert m.planned_estimate == previous[m.fingerprint]
+
+
+def test_multi_period_scenario_publishes_bwfile_per_period():
+    report = run_scenario(
+        "multi-period-deployment", n_relays=5, periods=3, execution=ANALYTIC
+    )
+    assert len(report.deployment_records) == 3
+    for period_index, record in enumerate(report.deployment_records):
+        assert record.period_index == period_index
+        assert len(record.bwfile) == 5
+        parsed = record.bwfile.weights()
+        assert parsed == {
+            fp: pytest.approx(est)
+            for fp, est in report.period_results[period_index].estimates.items()
+        }
+
+
+def test_multi_period_events_carry_period_indices():
+    campaign = Campaign(_scenario(periods=2), ANALYTIC)
+    events = list(campaign.iter_rounds())
+    completed = [e for e in events if isinstance(e, PeriodCompleted)]
+    assert [e.period_index for e in completed] == [0, 1]
+    assert all(e.deployment_record is not None for e in completed)
+    periods_seen = {r.period_index for r in campaign.report.rounds}
+    assert periods_seen == {0, 1}
+
+
+def _scenario(periods: int):
+    from repro.api import get_scenario
+
+    return get_scenario(
+        "multi-period-deployment", n_relays=4, periods=periods
+    )
+
+
+def test_prior_aging_relay_unseen_for_a_month_becomes_new_again():
+    """End-to-end aging: a relay missing for > ESTIMATE_MAX_AGE_PERIODS
+    periods loses its prior and is re-measured as new."""
+    full = synthesize_network(n_relays=4, seed=44)
+    veteran = next(iter(full.relays))
+    without = TorNetwork(
+        {fp: r for fp, r in full.relays.items() if fp != veteran}
+    )
+    deployment = Deployment(
+        authority=quick_team(seed=45), full_simulation=False
+    )
+
+    deployment.run_period(full)
+    assert veteran in deployment.priors_for(full)
+    assert deployment.estimate_age(veteran) == 0
+
+    for _ in range(ESTIMATE_MAX_AGE_PERIODS + 1):
+        deployment.run_period(without)
+
+    # The estimate is now too old to trust: the relay is "new" again.
+    assert deployment.estimate_age(veteran) == ESTIMATE_MAX_AGE_PERIODS + 1
+    assert veteran not in deployment.priors_for(full)
+
+    record = deployment.run_period(full)
+    assert veteran in record.estimates
+    assert deployment.estimate_age(veteran) == 0
+    # Re-measured from the new-relay seed, not the stale prior: its
+    # first attempt this period was planned at new_relay_seed.
+    assert veteran in deployment.priors_for(full)
+
+
+def test_carryover_reduces_measurements_between_periods_full_sim():
+    """The paper's warm-start effect, through the scenario API with the
+    real per-second simulation."""
+    report = run_scenario(
+        "multi-period-deployment", n_relays=5, periods=2,
+        execution=ExecutionConfig(),
+    )
+    first, second = report.period_results
+    assert second.measurements_run <= first.measurements_run
+    assert set(second.estimates) == set(first.estimates)
+
+
+def test_estimates_evolve_but_stay_accurate_across_periods():
+    network = synthesize_network(n_relays=4, seed=13)
+    truth = network.capacities()
+    deployment = Deployment(authority=quick_team(seed=14))
+    first = deployment.run_period(network)
+    second = deployment.run_period(network)
+    for fp, cap in truth.items():
+        for record in (first, second):
+            assert 0.6 * cap <= record.estimates[fp] <= 1.1 * cap
+
+
+def test_new_relay_joins_mid_deployment():
+    network = synthesize_network(n_relays=4, seed=47)
+    deployment = Deployment(
+        authority=quick_team(seed=47), full_simulation=False
+    )
+    deployment.run_period(network)
+    grown = TorNetwork(dict(network.relays))
+    grown.add(Relay.with_capacity("newcomer", mbit(80), seed=48))
+    record = deployment.run_period(grown)
+    assert "newcomer" in record.estimates
+    assert deployment.estimate_age("newcomer") == 0
+    assert "newcomer" not in deployment.periods[0].estimates

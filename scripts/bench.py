@@ -345,6 +345,83 @@ def measure_api_overhead(repeats: int, n_relays: int = 120) -> dict:
     }
 
 
+#: Shadow flow-simulator bench config: the ``shadow-measurement``-style
+#: workload (a §7 performance run on a scaled network), sized so one
+#: horizon takes under a second on the vector backend.
+SHADOW_BENCH_CONFIG = dict(
+    n_relays=60,
+    n_markov_clients=120,
+    n_benchmark_clients=10,
+    sim_seconds=150,
+    warmup_seconds=30,
+    seed=23,
+)
+SHADOW_BACKENDS = ("stateful", "vector")
+
+
+def _shadow_signature(metrics) -> tuple:
+    """A trajectory-sensitive fingerprint of one simulation's metrics."""
+    return (
+        sum(metrics.throughput_series),
+        tuple(metrics.ttfb()),
+        tuple(metrics.error_rates()),
+        metrics.transfers_completed(),
+        metrics.transfers_failed(),
+        sum(metrics.relay_p95_throughput.values()),
+    )
+
+
+def measure_shadow_flow(repeats: int) -> dict:
+    """Stateful-vs-vector wall time for the shadow flow simulator.
+
+    Times one full performance-simulation horizon (the unit of work
+    behind every TorFlow warmup and Figure 9 run) on both shadow
+    backends, verifies the metrics are bit-identical, and records the
+    speedup of the vectorized flow kernel.
+    """
+    from repro.shadow.config import ShadowConfig, build_network
+    from repro.shadow.simulator import NetworkSimulator
+
+    config = ShadowConfig(**SHADOW_BENCH_CONFIG)
+    network = build_network(config)
+    weights = network.relays.capacities()
+
+    rows: dict[str, float] = {}
+    signatures = {}
+    for backend in SHADOW_BACKENDS:
+        best = float("inf")
+        for _ in range(repeats):
+            sim = NetworkSimulator(network, seed=24)
+            start = time.perf_counter()
+            metrics = sim.run(weights, backend=backend)
+            best = min(best, time.perf_counter() - start)
+            signatures[backend] = _shadow_signature(metrics)
+        rows[backend] = round(best, 4)
+        print(f"{'shadow_flow':22s} {backend:11s} {best:8.3f}s  "
+              f"({SHADOW_BENCH_CONFIG['sim_seconds']}s horizon)")
+    identical = signatures["stateful"] == signatures["vector"]
+    if not identical:  # pragma: no cover - a correctness regression
+        raise SystemExit("shadow_flow: backends disagree on metrics")
+    return {
+        "describe": (
+            "shadow-measurement flow-simulator horizon (background "
+            "circuits + benchmark transfers), stateful walk vs "
+            "vectorized flow kernel"
+        ),
+        "config": dict(SHADOW_BENCH_CONFIG),
+        # Per-block provenance: --shadow merges this block into an
+        # existing JSON without re-running the other benches, so it
+        # must not inherit their timestamp/repeats.
+        "generated_unix": int(time.time()),
+        "repeats": repeats,
+        "seconds": rows,
+        "speedup_vector_vs_stateful": round(
+            rows["stateful"] / rows["vector"], 2
+        ),
+        "identical_metrics": identical,
+    }
+
+
 BENCHES = {
     "fig06_campaign": {
         "describe": "Figure 6 accuracy grid, 30 s slots",
@@ -420,6 +497,7 @@ def run_benches(repeats: int) -> dict:
             f"{overhead['overhead_fraction'] * 100:.2f}% (> 2% budget)"
         )
     report["api_overhead"] = overhead
+    report["shadow_flow"] = measure_shadow_flow(repeats)
     return report
 
 
@@ -428,7 +506,29 @@ def main() -> None:
     parser.add_argument("--repeats", type=int, default=3,
                         help="timed repetitions per path (best-of-N)")
     parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_OUTPUT)
+    parser.add_argument(
+        "--shadow", action="store_true",
+        help="run only the shadow flow-simulator bench and merge its "
+             "block into the existing output JSON",
+    )
     args = parser.parse_args()
+
+    if args.shadow:
+        shadow = measure_shadow_flow(args.repeats)
+        # Merge only the shadow block; the other benches' numbers (and
+        # the top-level timestamp describing them) are untouched.
+        report = (
+            json.loads(args.output.read_text())
+            if args.output.exists()
+            else {"schema": "flashflow-bench-kernel/1"}
+        )
+        report["shadow_flow"] = shadow
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nwrote {args.output}")
+        print(f"  shadow_flow: vector "
+              f"{shadow['speedup_vector_vs_stateful']}x vs stateful")
+        return
 
     report = run_benches(args.repeats)
     args.output.parent.mkdir(parents=True, exist_ok=True)
@@ -443,6 +543,10 @@ def main() -> None:
         f"  api_overhead: "
         f"{report['api_overhead']['overhead_fraction'] * 100:+.2f}% "
         f"(budget 2%)"
+    )
+    print(
+        f"  shadow_flow: vector "
+        f"{report['shadow_flow']['speedup_vector_vs_stateful']}x vs stateful"
     )
 
 

@@ -9,4 +9,10 @@ The build environment for this reproduction has no network access and no
 
 from setuptools import setup
 
-setup()
+setup(
+    extras_require={
+        # The tier-1 suite plus the shadow flow kernel's property-based
+        # invariants (tests/shadow/test_flow_properties.py).
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+)

@@ -108,7 +108,9 @@ def compare_load_balancing(
     Thin wrapper over :func:`repro.shadow.experiment.compare_systems`
     (whose measurement phase already runs through a
     :class:`Campaign`); ``execution`` selects the kernel backend and
-    worker count for the FlashFlow measurement phase. Returns the
+    worker count for the FlashFlow measurement phase plus the shadow
+    flow-simulator backend (``execution.shadow_backend``) for the
+    TorFlow warmups and performance runs. Returns the
     :class:`repro.shadow.experiment.ExperimentResult`.
     """
     from repro.shadow.experiment import compare_systems
@@ -121,4 +123,5 @@ def compare_load_balancing(
         run_performance=run_performance,
         measurement_backend=execution.backend,
         measurement_workers=execution.max_workers,
+        shadow_backend=execution.shadow_backend,
     )

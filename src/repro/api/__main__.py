@@ -50,6 +50,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="list registered scenarios and exit")
     parser.add_argument("--backend", default=None,
                         help="kernel backend (serial/thread/process/vector)")
+    parser.add_argument("--shadow-backend", default=None,
+                        help="shadow flow-simulator backend (stateful/vector) "
+                             "carried in the execution config; only "
+                             "flow-simulating pipelines (e.g. "
+                             "compare_load_balancing) consult it -- the "
+                             "measurement-only registry scenarios ignore it")
     parser.add_argument("--workers", type=int, default=None)
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-round progress lines")
@@ -66,6 +72,7 @@ def main(argv: list[str] | None = None) -> int:
     base = default_execution_for(args.scenario)
     execution = ExecutionConfig(
         backend=args.backend,
+        shadow_backend=args.shadow_backend,
         max_workers=args.workers,
         full_simulation=base.full_simulation,
         max_rounds=base.max_rounds,

@@ -41,6 +41,13 @@ class ExecutionConfig:
     #: Kernel execution backend (:mod:`repro.kernel.backends`). ``None``
     #: defers to params/environment, then ``auto``.
     backend: str | None = None
+    #: Shadow flow-simulator backend (:mod:`repro.shadow.flows`) for
+    #: workloads that run the flow-level simulator (the §7 comparison
+    #: pipeline; see ``repro.shadow.experiment.compare_systems``).
+    #: Bit-identical by construction; measurement-only campaigns carry
+    #: but never consult it. ``None`` defers to the
+    #: ``FLASHFLOW_SHADOW_BACKEND`` environment variable, then ``auto``.
+    shadow_backend: str | None = None
     #: Engine worker-count cap (``None`` = engine default, ``1`` = serial).
     max_workers: int | None = None
     #: Per-second traffic simulation (True) vs the analytic fast path.
@@ -64,6 +71,19 @@ class ExecutionConfig:
                     f"unknown kernel backend {self.backend!r}; "
                     f"known: {sorted(known)}"
                 )
+        if self.shadow_backend is not None:
+            if not isinstance(self.shadow_backend, str) or not self.shadow_backend:
+                raise ConfigurationError(
+                    "shadow_backend must be a shadow backend name or None"
+                )
+            from repro.shadow.flows import shadow_backend_names
+
+            known = {"auto"} | set(shadow_backend_names())
+            if self.shadow_backend not in known:
+                raise ConfigurationError(
+                    f"unknown shadow backend {self.shadow_backend!r}; "
+                    f"known: {sorted(known)}"
+                )
         if self.max_workers is not None and self.max_workers < 1:
             raise ConfigurationError("max_workers must be >= 1 or None")
         if self.max_rounds < 1:
@@ -74,3 +94,7 @@ class ExecutionConfig:
     def with_backend(self, backend: str | None) -> "ExecutionConfig":
         """A copy of this config on a different kernel backend."""
         return replace(self, backend=backend)
+
+    def with_shadow_backend(self, shadow_backend: str | None) -> "ExecutionConfig":
+        """A copy of this config on a different shadow flow backend."""
+        return replace(self, shadow_backend=shadow_backend)

@@ -252,7 +252,9 @@ def _multi_period_deployment(
     description=(
         "The §7 Shadow measurement phase in isolation: congested-"
         "topology noise, per-relay background client traffic, cold "
-        "priors -- the workload behind flashflow_weights_for."
+        "priors -- the workload behind flashflow_weights_for. The "
+        "surrounding flow simulations (TorFlow warmups, Figure 9 "
+        "performance runs) honour ExecutionConfig.shadow_backend."
     ),
 )
 def _shadow_measurement(

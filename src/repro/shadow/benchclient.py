@@ -140,6 +140,17 @@ class BenchmarkClient:
         self.active = None
         self._next_start = now + 1 + self.pause_seconds
 
+    def finish_active(self, now: int) -> None:
+        """Retire the active transfer (record already filled in).
+
+        The vectorized flow kernel does the TTFB/TTLB/timeout math as
+        array ops and writes the results onto the record itself; this
+        hook applies only the state transition :meth:`advance` would
+        have: archive the record, clear the transfer, schedule the next
+        start after the pause.
+        """
+        self._finish(now)
+
     # ------------------------------------------------------------------
     # Statistics
     # ------------------------------------------------------------------

@@ -11,10 +11,15 @@ Each simulated second:
 4. benchmark transfers advance, recording TTFB/TTLB/timeouts;
 5. per-relay throughput and utilisation are accumulated.
 
-The waterfilling is the batch-freezing variant: each round either freezes
-every flow whose cap-residual is below the tightest resource level (in one
-vector operation) or saturates at least one relay, so rounds stay far
-below the flow count.
+Execution is pluggable (:mod:`repro.shadow.flows`, mirroring the
+measurement kernel's :mod:`repro.kernel.backends`): the default
+``vector`` backend compiles each horizon onto the flow kernel's arrays
+(flow table rebuilt only at circuit churn, congested RTTs and transfer
+bookkeeping as batched array ops), while ``backend="stateful"`` keeps
+the historical per-second Python walk. Both are bit-identical under
+fixed seeds; selection order is explicit ``backend=`` argument, then
+the ``FLASHFLOW_SHADOW_BACKEND`` environment variable, then ``auto``
+(= ``vector``).
 """
 
 from __future__ import annotations
@@ -26,82 +31,33 @@ import numpy as np
 from repro.rng import fork_numpy
 from repro.shadow.benchclient import BenchmarkClient
 from repro.shadow.config import ShadowConfig, ShadowNetwork
+from repro.shadow.flows import (
+    OVERLOAD_FULL,
+    OVERLOAD_ONSET,
+    finalize_relay_stats,
+    get_shadow_backend,
+    resolve_shadow_backend_name,
+    waterfill,
+)
 from repro.shadow.trafficgen import MarkovLoadGenerator
 from repro.tornet.circuit import circuit_rate_cap
 from repro.tornet.consensus import Consensus, RouterStatus
 from repro.tornet.pathsel import PathSelector
 
-_EPS = 1e-6
+__all__ = [
+    "NetworkSimulator",
+    "PreparedSimulation",
+    "SimulationMetrics",
+    "waterfill",
+    "OVERLOAD_ONSET",
+    "OVERLOAD_FULL",
+]
 
-#: Offered-demand/capacity ratio at which a relay's circuit scheduler
-#: starts being unfair (queues grow, EWMA starves bursty circuits), and
-#: the ratio at which the unfairness is fully developed.
-OVERLOAD_ONSET = 1.10
-OVERLOAD_FULL = 1.60
-
-
-def waterfill(
-    path_idx: np.ndarray, caps: np.ndarray, capacity: np.ndarray
-) -> np.ndarray:
-    """Exact max-min fair rates for flows over 3-relay paths.
-
-    ``path_idx`` is [F, 3] relay indices, ``caps`` [F] per-flow caps,
-    ``capacity`` [R] per-relay forwarding capacity. Returns rates [F].
-    """
-    n_flows = path_idx.shape[0]
-    n_relays = capacity.shape[0]
-    rates = np.zeros(n_flows)
-    if n_flows == 0:
-        return rates
-    active = caps > 0
-    remaining = capacity.astype(float).copy()
-
-    for _ in range(2 * (n_flows + n_relays) + 8):
-        if not active.any():
-            break
-        act_paths = path_idx[active]
-        counts = np.bincount(act_paths.ravel(), minlength=n_relays)
-        used = counts > 0
-        with np.errstate(divide="ignore"):
-            levels = np.where(used, remaining / np.maximum(counts, 1), np.inf)
-        level = levels.min()
-
-        residual = caps[active] - rates[active]
-        if np.isinf(level) or (residual > level + _EPS).sum() == 0:
-            # Every remaining flow fits under the tightest resource level:
-            # give each its full residual and finish.
-            np.subtract.at(
-                remaining,
-                act_paths.ravel(),
-                np.repeat(residual, 3),
-            )
-            rates[active] = caps[active]
-            active[:] = False
-            break
-
-        batch = residual <= level + _EPS
-        if batch.any():
-            # Freeze all cap-limited flows below the level in one shot.
-            batch_paths = act_paths[batch]
-            np.subtract.at(
-                remaining,
-                batch_paths.ravel(),
-                np.repeat(residual[batch], 3),
-            )
-            idx = np.flatnonzero(active)[batch]
-            rates[idx] = caps[idx]
-            active[idx] = False
-            continue
-
-        # Advance everyone by the level; at least one relay saturates.
-        rates[active] += level
-        remaining -= level * counts
-        saturated = remaining <= _EPS
-        if saturated.any():
-            crossing = saturated[path_idx].any(axis=1) & active
-            active &= ~crossing
-
-    return rates
+#: Entries kept in the stateful walk's congested-window memo before it
+#: stops growing (the memo is exact, so capping it only costs hits;
+#: entries are one per distinct background circuit, so the cap is a
+#: safety valve, not a working-set bound).
+_WINDOW_MEMO_MAX = 1 << 18
 
 
 @dataclass
@@ -155,6 +111,18 @@ class SimulationMetrics:
         return float(np.median(self.throughput_series))
 
 
+@dataclass
+class PreparedSimulation:
+    """One run's resolved inputs, shared by every execution backend."""
+
+    background: list[MarkovLoadGenerator]
+    benchmarks: list[BenchmarkClient]
+    metrics: SimulationMetrics
+    #: [horizon, R] pre-drawn per-second relay capacity jitter.
+    relay_noise: np.ndarray
+    horizon: int
+
+
 class NetworkSimulator:
     """Runs one performance simulation under a given weight assignment."""
 
@@ -181,8 +149,25 @@ class NetworkSimulator:
             )
         return consensus
 
-    def run(self, weights: dict[str, float]) -> SimulationMetrics:
-        """Simulate ``sim_seconds`` + warmup under ``weights``."""
+    def run(
+        self, weights: dict[str, float], backend: str | None = None
+    ) -> SimulationMetrics:
+        """Simulate ``sim_seconds`` + warmup under ``weights``.
+
+        ``backend`` selects the flow-execution backend
+        (:mod:`repro.shadow.flows`); results are bit-identical for every
+        choice, so the knob only trades speed for granularity.
+        """
+        name = resolve_shadow_backend_name(backend)
+        return get_shadow_backend(name).run(self, weights)
+
+    def _prepare(self, weights: dict[str, float]) -> PreparedSimulation:
+        """Resolve one run's clients and noise (RNG order is canonical).
+
+        Every backend starts from this exact draw sequence: path
+        selector, the numpy noise fork, background generators, then
+        benchmark clients -- so backend choice can never shift a seed.
+        """
         config = self.config
         selector = PathSelector(self._consensus(weights), seed=self.seed)
         rtt_sampler = self.network.sample_circuit_rtt
@@ -226,7 +211,47 @@ class NetworkSimulator:
             for i in range(config.n_benchmark_clients)
         ]
 
-        metrics = SimulationMetrics(clients=benchmarks)
+        horizon = config.warmup_seconds + config.sim_seconds
+        # One batched draw for the whole horizon (engine-kernel style
+        # noise batching): row ``now`` holds exactly the values a
+        # per-second ``rng_np.normal(1.0, 0.02, n_relays)`` call would
+        # have drawn, so results are bit-identical.
+        relay_noise = np.clip(
+            rng_np.normal(1.0, 0.02, (horizon, len(self._fingerprints))),
+            0.85,
+            1.15,
+        )
+        return PreparedSimulation(
+            background=background,
+            benchmarks=benchmarks,
+            metrics=SimulationMetrics(clients=benchmarks),
+            relay_noise=relay_noise,
+            horizon=horizon,
+        )
+
+    def _run_stateful(
+        self, weights: dict[str, float], memoize: bool = True
+    ) -> SimulationMetrics:
+        """The historical per-second Python walk (``backend="stateful"``).
+
+        ``memoize`` enables the congested-window memo for background
+        circuits: the window cap is a pure function of (path ids, base
+        RTT, previous-second queue factor), so a second in which a
+        circuit's RTT and load ratio are unchanged reuses the cached
+        cap instead of recomputing it. The memo holds one entry per
+        circuit -- keyed (ids, rtt), storing the last (queue factor,
+        window) pair -- and the comparison is exact, no bucketing
+        approximation, so results are identical either way
+        (``tests/shadow/test_flow_oracle.py`` asserts it).
+        """
+        config = self.config
+        prepared = self._prepare(weights)
+        background = prepared.background
+        benchmarks = prepared.benchmarks
+        metrics = prepared.metrics
+        relay_noise = prepared.relay_noise
+        horizon = prepared.horizon
+
         n_relays = len(self._fingerprints)
         util_acc = np.zeros(n_relays)
         peak = np.zeros(n_relays)
@@ -237,18 +262,18 @@ class NetworkSimulator:
         #: queues -- the mechanism behind slow transfers in loaded Tor).
         prev_util = np.zeros(n_relays)
         measured_seconds = 0
-        horizon = config.warmup_seconds + config.sim_seconds
-        # One batched draw for the whole horizon (engine-kernel style
-        # noise batching): row ``now`` holds exactly the values the
-        # historical per-second ``rng_np.normal(1.0, 0.02, n_relays)``
-        # call would have drawn, so results are bit-identical.
-        relay_noise = np.clip(
-            rng_np.normal(1.0, 0.02, (horizon, n_relays)), 0.85, 1.15
+        #: id(circuit) -> (rtt, queue_factor, window): each circuit's
+        #: last computed window, valid while its RTT and load ratio are
+        #: unchanged. The window is a pure function of the (rtt, queue
+        #: factor) pair verified on every hit, so even an id collision
+        #: (address reuse after churn) cannot return a wrong value.
+        window_memo: dict[int, tuple[float, float, float]] | None = (
+            {} if memoize else None
         )
 
         def congested_rtt(base_rtt: float, relay_ids: tuple[int, ...]) -> float:
             queue_factor = float(prev_util[list(relay_ids)].mean())
-            return base_rtt * (1.0 + 2.5 * queue_factor ** 2)
+            return base_rtt * (1.0 + 2.5 * (queue_factor * queue_factor))
 
         for now in range(horizon):
             # --- Collect this second's flows ---------------------------
@@ -259,9 +284,35 @@ class NetworkSimulator:
             for generator in background:
                 for circuit, demand in generator.demands(now):
                     ids = tuple(self._index[fp] for fp in circuit.path)
-                    window = circuit_rate_cap(
-                        congested_rtt(circuit.rtt, ids), n_streams=2
-                    )
+                    if window_memo is None:
+                        window = circuit_rate_cap(
+                            congested_rtt(circuit.rtt, ids), n_streams=2
+                        )
+                    else:
+                        queue_factor = float(prev_util[list(ids)].mean())
+                        key = id(circuit)
+                        cached = window_memo.get(key)
+                        if (
+                            cached is not None
+                            and cached[0] == circuit.rtt
+                            and cached[1] == queue_factor
+                        ):
+                            window = cached[2]
+                        else:
+                            window = circuit_rate_cap(
+                                circuit.rtt
+                                * (1.0 + 2.5 * (queue_factor * queue_factor)),
+                                n_streams=2,
+                            )
+                            if (
+                                cached is not None
+                                or len(window_memo) < _WINDOW_MEMO_MAX
+                            ):
+                                window_memo[key] = (
+                                    circuit.rtt,
+                                    queue_factor,
+                                    window,
+                                )
                     paths.append(ids)
                     caps.append(min(demand, window))
                     owners.append(None)
@@ -334,12 +385,12 @@ class NetworkSimulator:
                 load_history.append(relay_load)
                 measured_seconds += 1
 
-        if measured_seconds:
-            p95 = np.percentile(np.stack(load_history), 95, axis=0)
-            for i, fp in enumerate(self._fingerprints):
-                metrics.relay_utilization[fp] = float(
-                    util_acc[i] / measured_seconds
-                )
-                metrics.relay_peak_throughput[fp] = float(peak[i])
-                metrics.relay_p95_throughput[fp] = float(p95[i])
+        finalize_relay_stats(
+            metrics,
+            self._fingerprints,
+            util_acc,
+            peak,
+            load_history,
+            measured_seconds,
+        )
         return metrics

@@ -16,6 +16,8 @@ import math
 import random
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.tornet.pathsel import PathSelector
 
 
@@ -84,15 +86,42 @@ class MarkovLoadGenerator:
         while len(self.circuits) < self.n_circuits:
             self.circuits.append(self._build_circuit(now))
 
-    def demands(self, now: int) -> list[tuple[BackgroundCircuit, float]]:
-        """Advance the demand processes; return (circuit, bits/s) pairs.
+    def demand_constants(self) -> tuple[float, float]:
+        """(per-circuit mean demand, lognormal mean correction).
 
-        The lognormal mean correction keeps the *average* offered load at
-        ``base_demand`` regardless of sigma.
+        The correction keeps the *average* offered load at
+        ``base_demand`` regardless of sigma. Constant while the circuit
+        set is unchanged, which is what lets the flow kernel hoist both
+        out of the per-second loop.
         """
-        self.refresh_circuits(now)
         correction = math.exp(-(self._stationary_sigma() ** 2) / 2.0)
         per_circuit = self.base_demand / max(1, len(self.circuits))
+        return per_circuit, correction
+
+    def draw_noise_block(self, span: int) -> np.ndarray:
+        """Pre-draw ``span`` seconds of AR(1) innovations, [span, C].
+
+        Values and order are exactly what ``span`` consecutive
+        :meth:`demands` calls would draw -- one ``gauss(0, sigma)`` per
+        circuit per second, circuits in list order -- so the flow
+        kernel's batched walk stays bit-identical to the stateful one.
+        Only valid between churn events (no circuit may expire inside
+        the span).
+        """
+        gauss = self._rng.gauss
+        sigma = self.sigma
+        count = span * len(self.circuits)
+        block = np.fromiter(
+            (gauss(0.0, sigma) for _ in range(count)),
+            dtype=np.float64,
+            count=count,
+        )
+        return block.reshape(span, len(self.circuits))
+
+    def demands(self, now: int) -> list[tuple[BackgroundCircuit, float]]:
+        """Advance the demand processes; return (circuit, bits/s) pairs."""
+        self.refresh_circuits(now)
+        per_circuit, correction = self.demand_constants()
         out = []
         for circuit in self.circuits:
             circuit.log_state = (

@@ -1,0 +1,180 @@
+"""Oracle tests: the vectorized flow kernel is bit-identical to the
+stateful per-second walk.
+
+Mirrors ``tests/api/test_campaign_oracle.py``: the historical stateful
+walk (``backend="stateful"``) is the oracle, and the vectorized flow
+kernel (``backend="vector"``, the default) must reproduce every
+``SimulationMetrics`` field with *exact* equality -- TTLB/TTFB lists,
+error rates, transfer counts, the full throughput series, and the
+per-relay utilisation/peak/p95 dicts -- across seeds, loads, and both
+weight systems (ground-truth/FlashFlow-style and TorFlow-style).
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.shadow.config import ShadowConfig, ShadowNetwork, build_network
+from repro.shadow.experiment import torflow_weights_for
+from repro.shadow.flows import (
+    SHADOW_BACKEND_ENV_VAR,
+    StatefulFlowBackend,
+    get_shadow_backend,
+    resolve_shadow_backend_name,
+    shadow_backend_names,
+)
+from repro.shadow.simulator import NetworkSimulator
+
+BACKENDS = ("stateful", "vector")
+
+
+def _signature(metrics) -> dict:
+    """Every metric a run records, as exactly-comparable values."""
+    return {
+        "throughput_series": metrics.throughput_series,
+        "ttfb": metrics.ttfb(),
+        "ttlb_50k": metrics.ttlb(50 * 1024),
+        "ttlb_1m": metrics.ttlb(1024 * 1024),
+        "ttlb_5m": metrics.ttlb(5 * 1024 * 1024),
+        "error_rates": metrics.error_rates(),
+        "transfers_completed": metrics.transfers_completed(),
+        "transfers_failed": metrics.transfers_failed(),
+        "median_throughput": metrics.median_throughput(),
+        "relay_utilization": metrics.relay_utilization,
+        "relay_peak_throughput": metrics.relay_peak_throughput,
+        "relay_p95_throughput": metrics.relay_p95_throughput,
+    }
+
+
+def _network(seed: int, load: float, lifetime: int = 25) -> ShadowNetwork:
+    # A short circuit lifetime exercises several churn events (flow-table
+    # rebuilds) inside the horizon, including a final span clipped by it.
+    return build_network(
+        ShadowConfig(
+            n_relays=24,
+            n_markov_clients=10,
+            n_benchmark_clients=4,
+            sim_seconds=50,
+            warmup_seconds=12,
+            seed=seed,
+            load_multiplier=load,
+            circuit_lifetime_seconds=lifetime,
+        )
+    )
+
+
+def _weights(network: ShadowNetwork, system: str, seed: int) -> dict:
+    if system == "truth":
+        # Ground-truth capacities: the idealized FlashFlow weight set.
+        return network.relays.capacities()
+    # The TorFlow pipeline's actual output: skewed weights that overload
+    # some relays (exercising the EWMA-starvation path; the dedicated
+    # high-load test below forces the timeout path too).
+    return torflow_weights_for(network, seed=seed, warmup_sim_seconds=30)
+
+
+@pytest.mark.parametrize("seed", (1, 5))
+@pytest.mark.parametrize("load", (1.0, 1.3))
+@pytest.mark.parametrize("system", ("truth", "torflow"))
+def test_vector_kernel_bit_identical(seed, load, system):
+    network = _network(seed, load)
+    weights = _weights(network, system, seed)
+    signatures = {
+        backend: _signature(
+            NetworkSimulator(network, seed=seed + 7).run(
+                weights, backend=backend
+            )
+        )
+        for backend in BACKENDS
+    }
+    reference = signatures["stateful"]
+    assert reference["transfers_completed"] > 0
+    for backend, signature in signatures.items():
+        for key, value in reference.items():
+            assert signature[key] == value, (backend, key)
+
+
+def test_vector_kernel_bit_identical_on_timeout_path():
+    """An overloaded long-horizon run *must* produce timed-out
+    transfers, so the kernel's timeout/error-rate bookkeeping is
+    actually exercised -- the moderate-load grid above completes every
+    transfer (its horizon is too short for the 15/60/120 s timeouts to
+    even be reachable)."""
+    network = build_network(
+        ShadowConfig(
+            n_relays=50,
+            n_markov_clients=40,
+            n_benchmark_clients=8,
+            sim_seconds=150,
+            warmup_seconds=30,
+            seed=3,
+            load_multiplier=1.4,
+            circuit_lifetime_seconds=60,
+        )
+    )
+    weights = torflow_weights_for(network, seed=3, warmup_sim_seconds=30)
+    stateful = _signature(
+        NetworkSimulator(network, seed=4).run(weights, backend="stateful")
+    )
+    vector = _signature(
+        NetworkSimulator(network, seed=4).run(weights, backend="vector")
+    )
+    assert stateful["transfers_failed"] > 0
+    assert vector == stateful
+
+
+def test_vector_kernel_identical_across_churn_boundaries():
+    """Lifetimes that divide/don't divide the horizon all stay exact."""
+    for lifetime in (7, 31, 62, 500):
+        network = _network(3, 1.0, lifetime=lifetime)
+        weights = network.relays.capacities()
+        stateful = NetworkSimulator(network, seed=9).run(
+            weights, backend="stateful"
+        )
+        vector = NetworkSimulator(network, seed=9).run(
+            weights, backend="vector"
+        )
+        assert _signature(stateful) == _signature(vector), lifetime
+
+
+def test_window_memo_never_changes_results():
+    """The stateful walk's congested-window memo is exact: enabling it
+    cannot change a single metric."""
+    network = _network(2, 1.4)
+    weights = _weights(network, "torflow", 2)
+    memoized = NetworkSimulator(network, seed=4).run(
+        weights, backend="stateful"
+    )
+    plain = StatefulFlowBackend(memoize=False).run(
+        NetworkSimulator(network, seed=4), weights
+    )
+    assert _signature(memoized) == _signature(plain)
+
+
+def test_default_backend_is_vector(monkeypatch):
+    monkeypatch.delenv(SHADOW_BACKEND_ENV_VAR, raising=False)
+    assert resolve_shadow_backend_name(None) == "vector"
+    assert resolve_shadow_backend_name("auto") == "vector"
+    assert resolve_shadow_backend_name("stateful") == "stateful"
+
+
+def test_env_var_selects_backend(monkeypatch):
+    monkeypatch.setenv(SHADOW_BACKEND_ENV_VAR, "stateful")
+    assert resolve_shadow_backend_name(None) == "stateful"
+    # Explicit argument still wins over the environment.
+    assert resolve_shadow_backend_name("vector") == "vector"
+    monkeypatch.setenv(SHADOW_BACKEND_ENV_VAR, "auto")
+    assert resolve_shadow_backend_name(None) == "vector"
+
+
+def test_registry_lists_both_backends():
+    names = shadow_backend_names()
+    assert "stateful" in names and "vector" in names
+    with pytest.raises(ConfigurationError):
+        get_shadow_backend("no-such-backend")
+
+
+def test_run_rejects_unknown_backend():
+    network = _network(1, 1.0)
+    sim = NetworkSimulator(network, seed=1)
+    with pytest.raises(ConfigurationError):
+        sim.run(network.relays.capacities(), backend="bogus")

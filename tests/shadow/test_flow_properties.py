@@ -1,0 +1,171 @@
+"""Property-based invariants for the flow kernel's building blocks.
+
+Hypothesis sweeps replace the point checks that previously covered
+:func:`repro.shadow.flows.waterfill` and
+:func:`repro.tornet.circuit.circuit_rate_cap`:
+
+- **waterfill**: feasibility (no relay over capacity), cap respect,
+  non-negativity, conservation (every allocated bit crosses exactly
+  three relays), max-min unimprovability (a flow below its cap has a
+  saturated relay), and monotonicity -- uniformly scaling relay
+  capacity up never decreases any flow's rate.
+- **circuit_rate_cap**: the window math -- cap x RTT recovers the
+  window size, strict monotonicity in RTT, stream-window scaling (one
+  stream gets exactly half of two), saturation at the circuit window,
+  and the degenerate branches.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.shadow.flows import waterfill
+from repro.tornet.circuit import (
+    CIRCUIT_WINDOW_CELLS,
+    STREAM_WINDOW_CELLS,
+    circuit_rate_cap,
+)
+from repro.units import CELL_LEN
+
+
+def _instance(n_relays, n_flows, seed, max_cap=150.0):
+    rng = np.random.default_rng(seed)
+    capacity = rng.uniform(1.0, 100.0, n_relays)
+    paths = np.stack(
+        [rng.choice(n_relays, size=3, replace=False) for _ in range(n_flows)]
+    )
+    caps = rng.uniform(0.5, max_cap, n_flows)
+    return paths, caps, capacity
+
+
+# ---------------------------------------------------------------------------
+# waterfill invariants
+# ---------------------------------------------------------------------------
+
+@given(
+    n_relays=st.integers(min_value=3, max_value=12),
+    n_flows=st.integers(min_value=1, max_value=40),
+    seed=st.integers(min_value=0, max_value=9999),
+)
+@settings(max_examples=80, deadline=None)
+def test_waterfill_feasible_capped_and_conserving(n_relays, n_flows, seed):
+    paths, caps, capacity = _instance(n_relays, n_flows, seed)
+    rates = waterfill(paths, caps, capacity)
+
+    assert np.all(rates >= 0.0)
+    assert np.all(rates <= caps + 1e-7), "cap respect"
+    load = np.bincount(
+        paths.ravel(), weights=np.repeat(rates, 3), minlength=n_relays
+    )
+    assert np.all(load <= capacity + 1e-5), "feasibility"
+    # Conservation: each flow's bits appear on exactly its three relays.
+    assert load.sum() == pytest.approx(3.0 * rates.sum(), rel=1e-9, abs=1e-9)
+
+
+@given(
+    n_relays=st.integers(min_value=3, max_value=12),
+    n_flows=st.integers(min_value=1, max_value=40),
+    seed=st.integers(min_value=0, max_value=9999),
+)
+@settings(max_examples=80, deadline=None)
+def test_waterfill_maxmin_unimprovable(n_relays, n_flows, seed):
+    """A flow held below its cap must cross a saturated relay."""
+    paths, caps, capacity = _instance(n_relays, n_flows, seed)
+    rates = waterfill(paths, caps, capacity)
+    load = np.bincount(
+        paths.ravel(), weights=np.repeat(rates, 3), minlength=n_relays
+    )
+    saturated = load >= capacity - 1e-4
+    for i in range(n_flows):
+        if rates[i] < caps[i] - 1e-6:
+            assert saturated[paths[i]].any(), "below cap with slack relays"
+
+
+@given(
+    n_relays=st.integers(min_value=3, max_value=10),
+    n_flows=st.integers(min_value=1, max_value=30),
+    seed=st.integers(min_value=0, max_value=9999),
+    scale=st.floats(min_value=1.0, max_value=4.0),
+)
+@settings(max_examples=80, deadline=None)
+def test_waterfill_monotone_in_capacity(n_relays, n_flows, seed, scale):
+    """Uniformly raising relay capacity never hurts any flow.
+
+    (Raising a *single* relay's capacity can legitimately lower the
+    max-min total -- fairness is not throughput-optimal -- so the
+    monotonicity invariant is about uniform scaling.)
+    """
+    paths, caps, capacity = _instance(n_relays, n_flows, seed)
+    base = waterfill(paths, caps, capacity)
+    scaled = waterfill(paths, caps, capacity * scale)
+    assert np.all(scaled >= base - 1e-4), "per-flow monotonicity"
+    assert scaled.sum() >= base.sum() - 1e-4, "total monotonicity"
+
+
+@given(
+    n_relays=st.integers(min_value=3, max_value=10),
+    n_flows=st.integers(min_value=1, max_value=30),
+    seed=st.integers(min_value=0, max_value=9999),
+)
+@settings(max_examples=60, deadline=None)
+def test_waterfill_uncapped_saturates_something(n_relays, n_flows, seed):
+    """With effectively infinite caps, some relay must saturate."""
+    paths, _, capacity = _instance(n_relays, n_flows, seed)
+    caps = np.full(n_flows, np.inf)
+    rates = waterfill(paths, caps, capacity)
+    load = np.bincount(
+        paths.ravel(), weights=np.repeat(rates, 3), minlength=n_relays
+    )
+    used = np.bincount(paths.ravel(), minlength=n_relays) > 0
+    assert np.any(load[used] >= capacity[used] - 1e-4)
+
+
+# ---------------------------------------------------------------------------
+# circuit_rate_cap window math
+# ---------------------------------------------------------------------------
+
+_rtts = st.floats(min_value=1e-3, max_value=10.0, allow_nan=False)
+
+
+@given(rtt=_rtts, n_streams=st.integers(min_value=1, max_value=6))
+@settings(max_examples=100, deadline=None)
+def test_rate_cap_recovers_window(rtt, n_streams):
+    """cap x RTT == the binding window, in bits."""
+    cap = circuit_rate_cap(rtt, n_streams=n_streams)
+    window_cells = min(CIRCUIT_WINDOW_CELLS, STREAM_WINDOW_CELLS * n_streams)
+    assert cap * rtt == pytest.approx(window_cells * CELL_LEN * 8.0, rel=1e-9)
+
+
+@given(rtt=_rtts, factor=st.floats(min_value=1.001, max_value=100.0))
+@settings(max_examples=100, deadline=None)
+def test_rate_cap_strictly_decreasing_in_rtt(rtt, factor):
+    assert circuit_rate_cap(rtt * factor) < circuit_rate_cap(rtt)
+
+
+@given(rtt=_rtts)
+@settings(max_examples=50, deadline=None)
+def test_rate_cap_stream_window_scaling(rtt):
+    """One stream is stream-window-bound at exactly half the circuit
+    window; two or more streams saturate the circuit window."""
+    single = circuit_rate_cap(rtt, n_streams=1)
+    double = circuit_rate_cap(rtt, n_streams=2)
+    assert single == pytest.approx(double / 2.0, rel=1e-12)
+    for n in (3, 4, 8):
+        assert circuit_rate_cap(rtt, n_streams=n) == double
+
+
+@given(rtt=_rtts, n_streams=st.integers(min_value=1, max_value=5))
+@settings(max_examples=50, deadline=None)
+def test_rate_cap_monotone_in_streams(rtt, n_streams):
+    assert (
+        circuit_rate_cap(rtt, n_streams=n_streams + 1)
+        >= circuit_rate_cap(rtt, n_streams=n_streams)
+    )
+
+
+def test_rate_cap_degenerate_branches():
+    assert circuit_rate_cap(0.0) == float("inf")
+    assert circuit_rate_cap(-1.0) == float("inf")
+    assert circuit_rate_cap(0.5, n_streams=0) == 0.0
+    assert circuit_rate_cap(0.5, n_streams=-3) == 0.0

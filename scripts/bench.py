@@ -44,7 +44,7 @@ from repro.core.measurer import Measurer  # noqa: E402
 from repro.core.params import FlashFlowParams  # noqa: E402
 from repro.errors import AllocationError  # noqa: E402
 from repro.netsim.latency import NetworkModel  # noqa: E402
-from repro.rng import seed_from  # noqa: E402
+from repro.rng import fork, seed_from  # noqa: E402
 from repro.tornet.cpu import CpuModel  # noqa: E402
 from repro.tornet.network import synthesize_network  # noqa: E402
 from repro.tornet.relay import Relay  # noqa: E402
@@ -182,7 +182,7 @@ def _time_network_campaign(mode: str, repeats: int, n_relays: int = 200):
             # PR 1's serial campaign path executed each round's specs as
             # a stateful engine.run loop; reproduce it exactly.
             engine.run_many = (
-                lambda specs, max_workers=None, backend=None: [
+                lambda specs, max_workers=None, backend=None, pipeline=None: [
                     engine.run(spec) for spec in specs
                 ]
             )
@@ -422,6 +422,216 @@ def measure_shadow_flow(repeats: int) -> dict:
     }
 
 
+#: Analytic-kernel bench config: one whole-network-scale round of
+#: analytic estimates (the unit of work the ``full_simulation=False``
+#: campaign path executes per round), plus an end-to-end analytic
+#: campaign for context.
+ANALYTIC_BENCH_CONFIG = dict(n_jobs=3000, n_relays=300, seed=9)
+
+
+class _AnalyticBenchJob:
+    """The duck-typed job shape run_analytic_round consumes."""
+
+    __slots__ = ("relay", "assignments", "wobble", "capped")
+
+    def __init__(self, relay, assignments, wobble, capped):
+        self.relay = relay
+        self.assignments = assignments
+        self.wobble = wobble
+        self.capped = capped
+
+
+def _analytic_round_jobs(n_jobs: int, seed: int):
+    """One large analytic round: varied capacities, rate limits, caps."""
+    params = FlashFlowParams()
+    auth = quick_team(seed=seed)
+    rng = fork(seed, "bench-analytic")
+    jobs = []
+    for i in range(n_jobs):
+        relay = Relay(
+            fingerprint=f"an-{i}",
+            cpu=CpuModel(max_forward_bits=mbit(40 + 37 * (i % 211))),
+            seed=seed + i,
+        )
+        if i % 6 == 0:
+            relay.set_rate_limit(mbit(30 + i % 180))
+        jobs.append(
+            _AnalyticBenchJob(
+                relay=relay,
+                assignments=allocate_evenly(auth.team, mbit(90 + 13 * (i % 97))),
+                wobble=max(0.8, rng.gauss(1.0, 0.02)),
+                capped=(i % 9 == 0),
+            )
+        )
+    return params, jobs
+
+
+def measure_analytic(repeats: int) -> dict:
+    """Stateful-loop vs analytic-kernel wall time for one analytic round.
+
+    The stateful side is exactly what the campaign's
+    ``full_simulation=False`` path executed per job before the kernel:
+    one ``MeasurementEngine.analytic_estimate`` call plus the fold's
+    ``acceptance_threshold(total_allocated(...))`` accept decision. The
+    kernel side is :func:`repro.kernel.analytic.run_analytic_round` on
+    the ``analytic`` backend -- the whole round as one array walk.
+    Verifies exact equality, and also times a full analytic campaign
+    end-to-end on both backends for context.
+    """
+    from repro.core.allocation import total_allocated
+    from repro.kernel.analytic import run_analytic_round
+
+    config = dict(ANALYTIC_BENCH_CONFIG)
+    params, jobs = _analytic_round_jobs(config["n_jobs"], config["seed"])
+    engine = MeasurementEngine()
+
+    def stateful_loop():
+        out = []
+        for job in jobs:
+            z = engine.analytic_estimate(
+                job.relay, job.assignments, params, job.wobble
+            )
+            threshold = params.acceptance_threshold(
+                total_allocated(job.assignments)
+            )
+            out.append((z, z < threshold or job.capped))
+        return out
+
+    def analytic_kernel():
+        result = run_analytic_round(engine, jobs, params, backend="analytic")
+        return list(zip(result.estimates, result.accepted))
+
+    rows: dict[str, float] = {}
+    signatures = {}
+    # Each timed call walks the same pure jobs; inner repetitions keep
+    # the measured spans well above timer resolution.
+    inner = 5
+    for name, fn in (("stateful_loop", stateful_loop),
+                     ("analytic_kernel", analytic_kernel)):
+        best = float("inf")
+        for _ in range(max(repeats, 2)):
+            start = time.perf_counter()
+            for _ in range(inner):
+                signatures[name] = fn()
+            best = min(best, (time.perf_counter() - start) / inner)
+        rows[name] = round(best, 5)
+        print(f"{'analytic_round':22s} {name:15s} {best * 1e3:8.2f}ms  "
+              f"({config['n_jobs']} jobs)")
+    identical = signatures["stateful_loop"] == signatures["analytic_kernel"]
+    if not identical:  # pragma: no cover - a correctness regression
+        raise SystemExit("analytic: kernel disagrees with the stateful loop")
+
+    def campaign_seconds(backend: str) -> tuple[float, float]:
+        best, signature = float("inf"), None
+        for _ in range(repeats):
+            network = synthesize_network(
+                n_relays=config["n_relays"], seed=config["seed"] + 1
+            )
+            authority = quick_team(seed=config["seed"] + 2)
+            campaign = Campaign(
+                Scenario(network=network, team=authority),
+                ExecutionConfig(backend=backend, full_simulation=False),
+            )
+            start = time.perf_counter()
+            report = campaign.run()
+            best = min(best, time.perf_counter() - start)
+            signature = sum(report.estimates.values())
+        return best, signature
+
+    serial_s, serial_sig = campaign_seconds("serial")
+    kernel_s, kernel_sig = campaign_seconds("analytic")
+    if repr(serial_sig) != repr(kernel_sig):  # pragma: no cover
+        raise SystemExit("analytic: campaign backends disagree on estimates")
+    print(f"{'analytic_campaign':22s} serial {serial_s:8.3f}s  "
+          f"analytic {kernel_s:8.3f}s  ({config['n_relays']} relays)")
+    return {
+        "describe": (
+            "full_simulation=False round: stateful analytic_estimate loop "
+            "(+ per-job accept decision) vs the analytic kernel's array "
+            "walk, plus an end-to-end analytic campaign"
+        ),
+        "config": config,
+        # Per-block provenance: --analytic merges this block into an
+        # existing JSON without re-running the other benches.
+        "generated_unix": int(time.time()),
+        "repeats": repeats,
+        "seconds": rows,
+        "speedup_analytic_vs_stateful": round(
+            rows["stateful_loop"] / rows["analytic_kernel"], 2
+        ),
+        "campaign": {
+            "n_relays": config["n_relays"],
+            "serial_seconds": round(serial_s, 4),
+            "analytic_seconds": round(kernel_s, 4),
+            "speedup": round(serial_s / kernel_s, 2),
+        },
+        "identical_estimates": identical,
+    }
+
+
+#: Pipeline bench config: a whole-network campaign big enough for the
+#: round's compile stream to be worth overlapping with execution.
+PIPELINE_BENCH_CONFIG = dict(n_relays=150, seed=91, backend="process")
+
+
+def measure_pipeline(repeats: int) -> dict:
+    """Pipelined vs batch round execution on the worker backend.
+
+    Times the same whole-network campaign with
+    ``ExecutionConfig(pipeline=False)`` (compile the whole round, then
+    execute) and ``pipeline=True`` (stream compiled chunks to the pool
+    while the round's tail compiles), verifies the estimates are
+    bit-identical, and records the overlap's speedup. Gains scale with
+    how much of the round's wall time is main-thread compilation --
+    modest on single-core CI, larger on real multi-core hosts (the
+    recorded ``cpu_count`` in the top-level report documents the
+    machine).
+    """
+    config = dict(PIPELINE_BENCH_CONFIG)
+
+    def run(pipeline: bool) -> tuple[float, float]:
+        best, signature = float("inf"), None
+        for _ in range(repeats):
+            network = synthesize_network(
+                n_relays=config["n_relays"], seed=config["seed"]
+            )
+            authority = quick_team(seed=config["seed"] + 1)
+            campaign = Campaign(
+                Scenario(network=network, team=authority),
+                ExecutionConfig(backend=config["backend"], pipeline=pipeline),
+            )
+            start = time.perf_counter()
+            report = campaign.run()
+            best = min(best, time.perf_counter() - start)
+            signature = sum(report.estimates.values())
+        return best, signature
+
+    batch_s, batch_sig = run(False)
+    piped_s, piped_sig = run(True)
+    identical = repr(batch_sig) == repr(piped_sig)
+    if not identical:  # pragma: no cover - a correctness regression
+        raise SystemExit("pipeline: pipelined campaign changed estimates")
+    print(f"{'pipeline_campaign':22s} batch {batch_s:8.3f}s  "
+          f"pipelined {piped_s:8.3f}s  ({config['n_relays']} relays, "
+          f"{config['backend']})")
+    return {
+        "describe": (
+            "whole-network campaign on the worker backend: batch rounds "
+            "(compile all, then execute) vs pipelined rounds (compile "
+            "stream overlaps worker execution)"
+        ),
+        "config": config,
+        "generated_unix": int(time.time()),
+        "repeats": repeats,
+        "seconds": {
+            "batch": round(batch_s, 4),
+            "pipelined": round(piped_s, 4),
+        },
+        "speedup_pipelined_vs_batch": round(batch_s / piped_s, 2),
+        "identical_estimates": identical,
+    }
+
+
 BENCHES = {
     "fig06_campaign": {
         "describe": "Figure 6 accuracy grid, 30 s slots",
@@ -498,7 +708,26 @@ def run_benches(repeats: int) -> dict:
         )
     report["api_overhead"] = overhead
     report["shadow_flow"] = measure_shadow_flow(repeats)
+    report["analytic"] = measure_analytic(repeats)
+    report["pipeline"] = measure_pipeline(repeats)
     return report
+
+
+def _merge_block(output: pathlib.Path, key: str, block: dict) -> None:
+    """Merge one bench block into the output JSON, leaving the rest.
+
+    Each block carries its own ``generated_unix``/``repeats`` provenance,
+    so a partial re-run never inherits another bench's timestamp.
+    """
+    report = (
+        json.loads(output.read_text())
+        if output.exists()
+        else {"schema": "flashflow-bench-kernel/1"}
+    )
+    report[key] = block
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {output}")
 
 
 def main() -> None:
@@ -511,23 +740,37 @@ def main() -> None:
         help="run only the shadow flow-simulator bench and merge its "
              "block into the existing output JSON",
     )
+    parser.add_argument(
+        "--analytic", action="store_true",
+        help="run only the analytic-kernel bench and merge its block "
+             "into the existing output JSON",
+    )
+    parser.add_argument(
+        "--pipeline", action="store_true",
+        help="run only the pipelined-rounds bench and merge its block "
+             "into the existing output JSON",
+    )
     args = parser.parse_args()
 
-    if args.shadow:
-        shadow = measure_shadow_flow(args.repeats)
-        # Merge only the shadow block; the other benches' numbers (and
-        # the top-level timestamp describing them) are untouched.
-        report = (
-            json.loads(args.output.read_text())
-            if args.output.exists()
-            else {"schema": "flashflow-bench-kernel/1"}
-        )
-        report["shadow_flow"] = shadow
-        args.output.parent.mkdir(parents=True, exist_ok=True)
-        args.output.write_text(json.dumps(report, indent=2) + "\n")
-        print(f"\nwrote {args.output}")
-        print(f"  shadow_flow: vector "
-              f"{shadow['speedup_vector_vs_stateful']}x vs stateful")
+    if args.shadow or args.analytic or args.pipeline:
+        # Merge only the requested blocks; the other benches' numbers
+        # (and the top-level timestamp describing them) are untouched.
+        if args.shadow:
+            shadow = measure_shadow_flow(args.repeats)
+            _merge_block(args.output, "shadow_flow", shadow)
+            print(f"  shadow_flow: vector "
+                  f"{shadow['speedup_vector_vs_stateful']}x vs stateful")
+        if args.analytic:
+            analytic = measure_analytic(args.repeats)
+            _merge_block(args.output, "analytic", analytic)
+            print(f"  analytic: kernel "
+                  f"{analytic['speedup_analytic_vs_stateful']}x vs "
+                  f"stateful loop")
+        if args.pipeline:
+            pipeline = measure_pipeline(args.repeats)
+            _merge_block(args.output, "pipeline", pipeline)
+            print(f"  pipeline: "
+                  f"{pipeline['speedup_pipelined_vs_batch']}x vs batch")
         return
 
     report = run_benches(args.repeats)
@@ -547,6 +790,15 @@ def main() -> None:
     print(
         f"  shadow_flow: vector "
         f"{report['shadow_flow']['speedup_vector_vs_stateful']}x vs stateful"
+    )
+    print(
+        f"  analytic: kernel "
+        f"{report['analytic']['speedup_analytic_vs_stateful']}x vs "
+        f"stateful loop"
+    )
+    print(
+        f"  pipeline: "
+        f"{report['pipeline']['speedup_pipelined_vs_batch']}x vs batch"
     )
 
 

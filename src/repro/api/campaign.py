@@ -7,11 +7,23 @@ waiting relay into consecutive t-second slots greedily (largest first,
 the paper's efficiency scheduler); the round's measurements execute
 concurrently through :class:`repro.core.engine.MeasurementEngine.\
 run_many`, which lowers them onto the vectorized kernel
-(:mod:`repro.kernel`); outcomes fold back in deterministic slot order
-and inconclusive relays re-enter the next round with a doubled
-estimate. Retries are round-granular (see the shim's docstring for the
-history); for a fixed worker count the whole campaign is
-deterministic, and estimates are bit-identical on every backend.
+(:mod:`repro.kernel`) -- with ``ExecutionConfig(pipeline=)`` the
+stateful compile stream overlaps worker execution inside each round --
+while ``full_simulation=False`` rounds run whole-round analytic
+estimates through :mod:`repro.kernel.analytic`; outcomes fold back in
+deterministic slot order and inconclusive relays re-enter the next
+round with a doubled estimate. Retries are round-granular (see the
+shim's docstring for the history); for a fixed worker count the whole
+campaign is deterministic, and estimates are bit-identical on every
+backend, pipelined or not.
+
+Round-to-round lookahead is deliberately *not* pipelined: round N+1's
+jobs are exactly round N's retries, and compiling a retry consumes the
+relay's jitter stream and token-bucket snapshot *after* round N's walk
+settles back onto it -- so cross-round speculative compilation cannot
+be bit-identical. The pipeline's lookahead is therefore bounded to one
+round: within round N, measurement k+chunk compiles while measurements
+<= k execute in the worker pool.
 
 :class:`Campaign` adds streaming on top: :meth:`Campaign.iter_rounds`
 yields :mod:`repro.api.events` as rounds plan and complete, and
@@ -54,6 +66,7 @@ from repro.core.netmeasure import (
     CampaignResult,
     normalize_background_demand,
 )
+from repro.kernel.analytic import run_analytic_round
 from repro.rng import fork
 from repro.tornet.network import TorNetwork
 from repro.tornet.relay import Relay
@@ -186,6 +199,7 @@ def run_period_rounds(
 
         # --- Execute the round ----------------------------------------
         started = time.perf_counter()
+        accepted: list[bool] | None = None
         if execution.full_simulation:
             specs = [
                 MeasurementSpec(
@@ -206,23 +220,22 @@ def run_period_rounds(
                 specs,
                 max_workers=execution.max_workers,
                 backend=execution.backend,
+                pipeline=execution.pipeline,
             )
             results = [
                 (o.estimate, o.failed, o.failure_reason, o.cells_checked)
                 for o in outcomes
             ]
         else:
-            results = [
-                (
-                    engine.analytic_estimate(
-                        job.relay, job.assignments, params, job.wobble
-                    ),
-                    False,
-                    None,
-                    0,
-                )
-                for job in jobs
-            ]
+            # The analytic kernel walks the whole round as one array op
+            # (estimates + accept decisions); ``serial`` keeps the
+            # historical scalar analytic_estimate loop and leaves the
+            # decisions to the fold below. Bit-identical either way.
+            analytic = run_analytic_round(
+                engine, jobs, params, backend=execution.backend
+            )
+            results = [(z, False, None, 0) for z in analytic.estimates]
+            accepted = analytic.accepted
 
         # --- Fold outcomes back in deterministic slot order -----------
         record = RoundRecord(
@@ -232,7 +245,9 @@ def run_period_rounds(
             slots_packed=slot_index - first_slot,
         )
         retries: deque[tuple[str, float, int]] = deque()
-        for job, (z, failed, reason, cells_checked) in zip(jobs, results):
+        for i, (job, (z, failed, reason, cells_checked)) in enumerate(
+            zip(jobs, results)
+        ):
             result.measurements_run += 1
             measurement = MeasurementRecord(
                 period_index=period_index,
@@ -251,14 +266,25 @@ def run_period_rounds(
             if failed:
                 result.failures[job.fingerprint] = reason or "measurement failed"
                 continue
-            threshold = params.acceptance_threshold(
-                total_allocated(job.assignments)
-            )
-            if z < threshold or job.capped:
+            if accepted is not None:
+                # Pre-computed by the analytic kernel's array walk --
+                # bit-identical to the scalar recomputation below.
+                accept = accepted[i]
+            else:
+                threshold = params.acceptance_threshold(
+                    total_allocated(job.assignments)
+                )
+                accept = z < threshold or job.capped
+            if accept:
                 result.estimates[job.fingerprint] = z
                 authority.estimates[job.fingerprint] = z
                 measurement.accepted = True
             elif job.rounds + 1 >= execution.max_rounds:
+                # ``job.rounds`` counts *prior* attempts, so this
+                # measurement was attempt ``job.rounds + 1``: a relay
+                # that never converges is attempted exactly
+                # ``execution.max_rounds`` times before giving up
+                # (pinned by tests/api/test_max_rounds.py).
                 result.failures[job.fingerprint] = "did not converge"
                 measurement.failed = True
                 measurement.failure_reason = "did not converge"

@@ -24,7 +24,7 @@ from repro.errors import ConfigurationError
 #: ``FlashFlowParams.kernel_backend`` / ``FLASHFLOW_KERNEL_BACKEND`` /
 #: ``auto``. Third-party backends registered via
 #: :func:`repro.kernel.register_backend` are also accepted.
-KNOWN_BACKENDS = ("serial", "thread", "process", "vector", "auto")
+KNOWN_BACKENDS = ("serial", "thread", "process", "vector", "analytic", "auto")
 
 
 @dataclass(frozen=True)
@@ -53,9 +53,20 @@ class ExecutionConfig:
     #: Per-second traffic simulation (True) vs the analytic fast path.
     full_simulation: bool = True
     #: Maximum measurement attempts per relay before "did not converge".
+    #: A still-inconclusive relay is measured exactly ``max_rounds``
+    #: times (attempts, not retries) before being declared failed.
     max_rounds: int = 8
     #: Std-dev of the analytic path's pre-drawn measurement-error factor.
     analytic_error_std: float = 0.02
+    #: Pipelined rounds: overlap each round's stateful compile stream
+    #: with worker execution (:func:`repro.kernel.run_specs`). ``None``
+    #: (auto, the default) enables it wherever the backend has a pool to
+    #: overlap with (``thread``/``process``) and stays off under
+    #: ``serial``/``vector`` -- so ``serial`` keeps its one-at-a-time
+    #: debugging granularity. ``True`` forces the request (still a
+    #: no-op on pool-less backends), ``False`` disables it. Events,
+    #: estimates, and reports are bit-identical either way.
+    pipeline: bool | None = None
 
     def __post_init__(self) -> None:
         if self.backend is not None:
@@ -90,6 +101,10 @@ class ExecutionConfig:
             raise ConfigurationError("max_rounds must be >= 1")
         if self.analytic_error_std < 0:
             raise ConfigurationError("analytic_error_std must be >= 0")
+        if self.pipeline is not None and not isinstance(self.pipeline, bool):
+            raise ConfigurationError(
+                "pipeline must be True, False, or None (auto)"
+            )
 
     def with_backend(self, backend: str | None) -> "ExecutionConfig":
         """A copy of this config on a different kernel backend."""

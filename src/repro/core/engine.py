@@ -246,6 +246,22 @@ class _PlanInputs:
     outcome: MeasurementOutcome | None = None
 
 
+@dataclass(frozen=True)
+class AnalyticInputs:
+    """The gathered scalars behind one analytic estimate.
+
+    ``capacity`` is the relay's ground-truth Tor capacity, ``allocated``
+    the sum of the a_i in assignment order, ``multiplier`` the team's
+    m. :meth:`MeasurementEngine.analytic_finish` (scalar) and the
+    analytic kernel's array walk (one round at a time) consume the same
+    three numbers, so both produce the same bits.
+    """
+
+    capacity: float
+    allocated: float
+    multiplier: float
+
+
 @dataclass
 class _Plan:
     """A prepared measurement, ready for the batched per-second walk."""
@@ -573,6 +589,7 @@ class MeasurementEngine:
         specs: Sequence[MeasurementSpec],
         max_workers: int | None = None,
         backend: str | None = None,
+        pipeline: bool | None = False,
     ) -> list[MeasurementOutcome]:
         """Run independent measurements through the kernel.
 
@@ -593,6 +610,14 @@ CompiledMeasurement` objects and executed by a kernel backend
         Specs sharing a target relay fall back to serial stateful
         execution entirely: the relay's token bucket and RNG are stateful
         and draw in slot order.
+
+        ``pipeline`` overlaps the (stateful, main-thread) compile stream
+        with worker execution on pool backends: ``True`` requests it,
+        ``None`` enables it automatically where the backend supports
+        streaming (``thread``/``process``), ``False`` (the default here)
+        keeps the historical compile-everything-then-execute batch.
+        Results are bit-identical either way -- compiled execution is
+        pure, so only scheduling changes.
         """
         specs = list(specs)
         if max_workers is None:
@@ -605,12 +630,43 @@ CompiledMeasurement` objects and executed by a kernel backend
         from repro.kernel import run_specs
 
         return run_specs(
-            self, specs, backend=backend, max_workers=max_workers
+            self,
+            specs,
+            backend=backend,
+            max_workers=max_workers,
+            pipeline=pipeline,
         )
 
     # ------------------------------------------------------------------
     # Analytic fast path (subsumes the old full_simulation=False branch)
     # ------------------------------------------------------------------
+
+    def analytic_inputs(
+        self,
+        target: Relay,
+        assignments: Sequence[MeasurerAssignment],
+        params: FlashFlowParams | None = None,
+    ) -> "AnalyticInputs":
+        """Gather the analytic estimate's inputs (the prepare half).
+
+        Mirrors the :meth:`prepare_inputs` / :meth:`finish_plan` split of
+        the full-simulation path: this half touches live objects (relay,
+        assignments, params fallback chain) and the finish half
+        (:meth:`analytic_finish`) is pure arithmetic over the gathered
+        scalars -- exactly what :mod:`repro.kernel.analytic` lowers into
+        arrays for a whole round at once.
+        """
+        params = params or self.params or FlashFlowParams()
+        return AnalyticInputs(
+            capacity=target.true_capacity,
+            allocated=total_allocated(list(assignments)),
+            multiplier=params.multiplier,
+        )
+
+    @staticmethod
+    def analytic_finish(inputs: "AnalyticInputs", wobble: float = 1.0) -> float:
+        """The pure half: supply-limited wobbled true capacity."""
+        return min(inputs.capacity * wobble, inputs.allocated / inputs.multiplier)
 
     def analytic_estimate(
         self,
@@ -625,11 +681,14 @@ CompiledMeasurement` objects and executed by a kernel backend
         relay echoes up to its true capacity scaled by ``wobble`` (the
         caller's pre-drawn measurement-error factor). Used by campaign
         code where only accept/retry accounting matters, not per-second
-        traffic.
+        traffic. This is the stateful reference semantics; whole rounds
+        of analytic estimates run vectorized through
+        :func:`repro.kernel.analytic.run_analytic_round`, bit-identical
+        to calling this in a loop.
         """
-        params = params or self.params or FlashFlowParams()
-        supply = total_allocated(list(assignments)) / params.multiplier
-        return min(target.true_capacity * wobble, supply)
+        return self.analytic_finish(
+            self.analytic_inputs(target, assignments, params), wobble
+        )
 
 
 #: Process-wide engine used by the thin compatibility wrappers.

@@ -16,15 +16,33 @@ This package is the execution layer beneath
 Specs the kernel cannot compile -- adversarial relay behaviours,
 transcript sessions -- fall back to the engine's stateful ``run`` path,
 preserving exact semantics for every spec.
+
+Two more execution modes live here:
+
+- :mod:`repro.kernel.analytic` lowers whole rounds of the engine's
+  closed-form ``analytic_estimate`` (the ``full_simulation=False``
+  campaign path) into one array walk, registered under the ``analytic``
+  backend name;
+- pipelined rounds (``run_specs(pipeline=...)``) overlap the stateful
+  compile stream with worker execution on pool backends, bit-identical
+  to the batch path.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
+from repro.kernel.analytic import (
+    AnalyticRoundResult,
+    CompiledAnalyticRound,
+    compile_analytic_round,
+    execute_analytic_round,
+    run_analytic_round,
+)
 from repro.kernel.backends import (
     BACKEND_ENV_VAR,
     KernelBackend,
+    KernelStream,
     backend_names,
     get_backend,
     register_backend,
@@ -40,18 +58,24 @@ from repro.kernel.supply import KernelResult, execute_batch, execute_compiled
 
 __all__ = [
     "BACKEND_ENV_VAR",
+    "AnalyticRoundResult",
+    "CompiledAnalyticRound",
     "CompiledAssignment",
     "CompiledMeasurement",
     "KernelBackend",
     "KernelResult",
+    "KernelStream",
     "backend_names",
+    "compile_analytic_round",
     "compile_measurement",
+    "execute_analytic_round",
     "execute_batch",
     "execute_compiled",
     "get_backend",
     "is_compilable",
     "register_backend",
     "resolve_backend_name",
+    "run_analytic_round",
     "run_specs",
 ]
 
@@ -61,6 +85,7 @@ def run_specs(
     specs: Sequence,
     backend: str | None = None,
     max_workers: int | None = None,
+    pipeline: bool | None = False,
 ):
     """Run independent measurement specs through the kernel.
 
@@ -75,35 +100,71 @@ def run_specs(
     later specs in a mixed batch is not consulted), else the engine's
     params, the environment, and finally ``auto``. Results are
     bit-identical for every backend, so this only selects scheduling.
+
+    ``pipeline`` (``True``, or ``None`` for auto) overlaps compilation
+    with execution on backends that expose a worker pool
+    (``thread``/``process``): compilation still happens one spec at a
+    time in the calling thread, in spec order -- the stateful draws are
+    untouched -- but finished chunks are submitted to the pool
+    immediately, so workers execute the round's head while its tail is
+    still compiling, and the stateful fallback specs run on the calling
+    thread while the last chunks drain. Compiled execution is pure and
+    settlement still happens here, in spec order, so the pipelined round
+    is bit-identical to the batch path. Backends with no pool to overlap
+    with (``serial``/``vector``/``analytic``) ignore the flag.
     """
     specs = list(specs)
-    compiled: list[CompiledMeasurement] = []
-    fallback_indices: list[int] = []
-    for index, spec in enumerate(specs):
-        cm = compile_measurement(engine, spec, index=index)
-        if cm is None:
-            fallback_indices.append(index)
-        else:
-            compiled.append(cm)
+    first_params = (specs[0].params or engine.params) if specs else None
+    name = resolve_backend_name(
+        backend,
+        first_params.kernel_backend if first_params is not None else None,
+    )
+    backend_obj = get_backend(name)
 
     results = [None] * len(specs)
-    for index in fallback_indices:
-        results[index] = engine.run(specs[index])
+    fallback_indices: list[int] = []
 
-    if compiled:
-        first = specs[0]
-        params = first.params or engine.params
-        name = resolve_backend_name(
-            backend, params.kernel_backend if params is not None else None
+    stream = (
+        backend_obj.open_stream(len(specs), max_workers)
+        if (pipeline or pipeline is None)
+        else None
+    )
+    if stream is not None:
+        try:
+            for index, spec in enumerate(specs):
+                cm = compile_measurement(engine, spec, index=index)
+                if cm is None:
+                    fallback_indices.append(index)
+                else:
+                    stream.add(cm)
+            # Stateful fallbacks run here while workers drain the tail.
+            for index in fallback_indices:
+                results[index] = engine.run(specs[index])
+        except BaseException:
+            stream.close()
+            raise
+        kernel_results = stream.finish()
+    else:
+        compiled: list[CompiledMeasurement] = []
+        for index, spec in enumerate(specs):
+            cm = compile_measurement(engine, spec, index=index)
+            if cm is None:
+                fallback_indices.append(index)
+            else:
+                compiled.append(cm)
+        for index in fallback_indices:
+            results[index] = engine.run(specs[index])
+        kernel_results = (
+            backend_obj.run(compiled, max_workers=max_workers)
+            if compiled
+            else []
         )
-        kernel_results = get_backend(name).run(
-            compiled, max_workers=max_workers
-        )
-        for result in kernel_results:
-            spec = specs[result.index]
-            if result.total_bytes.size:
-                spec.target.settle_measured_walk(
-                    result.total_bytes.tolist(), result.final_bucket_tokens
-                )
-            results[result.index] = result.to_outcome()
+
+    for result in kernel_results:
+        spec = specs[result.index]
+        if result.total_bytes.size:
+            spec.target.settle_measured_walk(
+                result.total_bytes.tolist(), result.final_bucket_tokens
+            )
+        results[result.index] = result.to_outcome()
     return results

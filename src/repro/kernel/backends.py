@@ -29,7 +29,8 @@ from __future__ import annotations
 
 import atexit
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from collections import deque
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Sequence
 
@@ -45,20 +46,129 @@ BACKEND_ENV_VAR = "FLASHFLOW_KERNEL_BACKEND"
 MIN_CHUNK = 8
 
 
-def _chunks(
-    compiled: Sequence[CompiledMeasurement], workers: int
-) -> list[list[CompiledMeasurement]]:
-    """Split a batch into contiguous chunks for a worker pool.
+def _chunk_target(n: int, workers: int) -> int:
+    """Chunk size for a batch of ``n`` over a ``workers``-wide pool.
 
     With several workers, ~4 chunks per worker balances load against
     vectorization width; a single worker gets the whole batch as one
     chunk (splitting would only add dispatch round trips). Chunks never
-    shrink below :data:`MIN_CHUNK`.
+    shrink below :data:`MIN_CHUNK`. The streaming path uses the same
+    sizing; chunk boundaries never affect results (each measurement's
+    walk is independent), only scheduling.
     """
-    n = len(compiled)
     n_chunks = workers * 4 if workers > 1 else 1
-    target = max(MIN_CHUNK, -(-n // n_chunks))
-    return [list(compiled[i : i + target]) for i in range(0, n, target)]
+    return max(MIN_CHUNK, -(-n // n_chunks))
+
+
+def _chunks(
+    compiled: Sequence[CompiledMeasurement], workers: int
+) -> list[list[CompiledMeasurement]]:
+    """Split a batch into contiguous chunks for a worker pool."""
+    target = _chunk_target(len(compiled), workers)
+    return [list(compiled[i : i + target]) for i in range(0, len(compiled), target)]
+
+
+class KernelStream:
+    """A bounded pipeline of compiled-measurement chunks over a pool.
+
+    The caller feeds compiled measurements one at a time (in spec order,
+    preserving the stateful compile order) via :meth:`add`; full chunks
+    are submitted to the pool immediately, so workers execute earlier
+    chunks while the caller is still compiling later specs.
+    :meth:`finish` flushes the tail chunk and returns every result in
+    submission (= input) order -- the same concatenation the batch path
+    produces, so results are bit-identical to an unpipelined run.
+
+    In-flight chunks are bounded: once ``max_in_flight`` futures are
+    outstanding, :meth:`add` harvests the oldest before submitting more
+    (the single-round lookahead bound -- memory stays proportional to the
+    pool, not the round). Submitted chunks are retained until their
+    results arrive so a broken process pool can be rebuilt -- once, like
+    the batch path's single retry -- and the lost chunks re-executed
+    (compiled measurements are pure; re-execution is safe).
+
+    The pool itself is acquired lazily on the first flushed chunk, so a
+    round whose specs all fall back to the stateful path never spawns
+    workers (matching the batch path, which only touches the backend
+    when something compiled).
+    """
+
+    def __init__(
+        self,
+        pool_factory: Callable[[], Executor],
+        chunk_target: int,
+        max_in_flight: int,
+        owns_pool: bool,
+        rebuild: Callable[[], Executor] | None = None,
+    ) -> None:
+        self._pool_factory = pool_factory
+        self._pool: Executor | None = None
+        self._chunk_target = max(1, chunk_target)
+        self._max_in_flight = max(1, max_in_flight)
+        self._owns_pool = owns_pool
+        self._rebuild = rebuild
+        self._rebuilt = False
+        self._chunk: list[CompiledMeasurement] = []
+        #: (chunk, future) pairs awaiting results, oldest first.
+        self._pending: deque = deque()
+        self._results: list[KernelResult] = []
+
+    def add(self, cm: CompiledMeasurement) -> None:
+        self._chunk.append(cm)
+        if len(self._chunk) >= self._chunk_target:
+            self._flush()
+
+    def _flush(self) -> None:
+        if not self._chunk:
+            return
+        if self._pool is None:
+            self._pool = self._pool_factory()
+        if len(self._pending) >= self._max_in_flight:
+            self._harvest_oldest()
+        chunk = self._chunk
+        self._chunk = []
+        self._pending.append((chunk, self._pool.submit(execute_batch, chunk)))
+
+    def _harvest_oldest(self) -> None:
+        chunk, future = self._pending.popleft()
+        try:
+            self._results.extend(future.result())
+        except BrokenProcessPool:
+            if self._rebuild is None or self._rebuilt:
+                # Second failure (or a pool that cannot be rebuilt): a
+                # chunk that deterministically kills its worker must
+                # surface, not loop respawning pools.
+                raise
+            # A worker died mid-round (OOM kill, signal): rebuild the
+            # pool once and re-run every chunk whose results were lost,
+            # in order -- the batch path's single-retry contract.
+            self._rebuilt = True
+            lost = [chunk] + [pending_chunk for pending_chunk, _ in self._pending]
+            self._pending.clear()
+            self._pool = self._rebuild()
+            for lost_chunk in lost:
+                self._pending.append(
+                    (lost_chunk, self._pool.submit(execute_batch, lost_chunk))
+                )
+            while self._pending:
+                self._harvest_oldest()
+
+    def finish(self) -> list[KernelResult]:
+        """Flush the tail and collect every result, in input order."""
+        try:
+            self._flush()
+            while self._pending:
+                self._harvest_oldest()
+            return self._results
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Release the pool (cancelling stragglers on an aborted round)."""
+        for _, future in self._pending:
+            future.cancel()
+        if self._owns_pool and self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
 
 
 class KernelBackend:
@@ -72,6 +182,18 @@ class KernelBackend:
         max_workers: int | None = None,
     ) -> list[KernelResult]:
         raise NotImplementedError
+
+    def open_stream(
+        self, n_specs: int, max_workers: int | None = None
+    ) -> KernelStream | None:
+        """A :class:`KernelStream` for pipelined rounds, or ``None``.
+
+        ``None`` means this backend has no workers to overlap with (the
+        in-process ``serial``/``vector``/``analytic`` walks) or the batch
+        is too small to be worth streaming; the caller falls back to the
+        compile-everything-then-:meth:`run` batch path.
+        """
+        return None
 
 
 class SerialBackend(KernelBackend):
@@ -104,6 +226,17 @@ class ThreadBackend(KernelBackend):
         with ThreadPoolExecutor(max_workers=workers) as pool:
             chunk_results = pool.map(execute_batch, _chunks(compiled, workers))
         return [result for chunk in chunk_results for result in chunk]
+
+    def open_stream(self, n_specs, max_workers=None):
+        workers = max_workers or min(32, (os.cpu_count() or 1) + 4)
+        if workers <= 1 or n_specs <= MIN_CHUNK:
+            return None
+        return KernelStream(
+            pool_factory=lambda: ThreadPoolExecutor(max_workers=workers),
+            chunk_target=_chunk_target(n_specs, workers),
+            max_in_flight=workers * 4,
+            owns_pool=True,
+        )
 
 
 class ProcessBackend(KernelBackend):
@@ -159,6 +292,42 @@ class ProcessBackend(KernelBackend):
             )
         return [result for chunk in chunk_results for result in chunk]
 
+    def open_stream(self, n_specs, max_workers=None):
+        cpus = os.cpu_count() or 1
+        workers = max(1, min(max_workers or cpus, cpus, 32))
+        if n_specs <= MIN_CHUNK:
+            return None
+
+        def rebuild() -> ProcessPoolExecutor:
+            self.shutdown()
+            return self._get_pool(workers)
+
+        # The persistent pool outlives the stream (owns_pool=False):
+        # campaigns open one stream per round and respawning workers
+        # each round would dominate the round's wall time.
+        return KernelStream(
+            pool_factory=lambda: self._get_pool(workers),
+            chunk_target=_chunk_target(n_specs, workers),
+            max_in_flight=workers * 4,
+            owns_pool=False,
+            rebuild=rebuild,
+        )
+
+
+class AnalyticBackend(VectorBackend):
+    """The analytic estimation kernel's registry entry.
+
+    Selecting ``analytic`` makes the ``full_simulation=False`` campaign
+    path run whole rounds of analytic estimates as one array walk
+    (:mod:`repro.kernel.analytic`) -- which every backend except
+    ``serial`` does anyway; the name exists so configs can ask for the
+    analytic kernel explicitly. For compiled full-simulation
+    measurements it behaves exactly like ``vector`` (one batched array
+    walk, bit-identical to every other backend).
+    """
+
+    name = "analytic"
+
 
 _BACKENDS: dict[str, KernelBackend] = {}
 
@@ -173,6 +342,7 @@ register_backend(SerialBackend())
 register_backend(VectorBackend())
 register_backend(ThreadBackend())
 register_backend(ProcessBackend())
+register_backend(AnalyticBackend())
 
 
 def backend_names() -> list[str]:
@@ -183,15 +353,30 @@ def backend_names() -> list[str]:
 def resolve_backend_name(
     explicit: str | None = None, params_backend: str | None = None
 ) -> str:
-    """Apply the selection order; ``auto`` resolves to ``vector``."""
-    name = (
-        explicit
-        or params_backend
-        or os.environ.get(BACKEND_ENV_VAR)
-        or "auto"
-    )
+    """Apply the selection order; ``auto`` resolves to ``vector``.
+
+    The resolved name is validated against the registry *here*, before
+    any campaign work starts: a typo'd ``FLASHFLOW_KERNEL_BACKEND`` (or
+    explicit/params name) fails fast with a :class:`ConfigurationError`
+    naming the registered backends instead of surfacing as a raw
+    ``KeyError`` mid-campaign.
+    """
+    env = os.environ.get(BACKEND_ENV_VAR)
+    if explicit:
+        name, source = explicit, "backend argument"
+    elif params_backend:
+        name, source = params_backend, "FlashFlowParams.kernel_backend"
+    elif env:
+        name, source = env, f"the {BACKEND_ENV_VAR} environment variable"
+    else:
+        name, source = "auto", "default"
     if name == "auto":
-        name = VectorBackend.name
+        return VectorBackend.name
+    if name not in _BACKENDS:
+        raise ConfigurationError(
+            f"unknown kernel backend {name!r} (from {source}); "
+            f"known backends: auto, {', '.join(backend_names())}"
+        )
     return name
 
 

@@ -526,10 +526,29 @@ def shadow_backend_names() -> list[str]:
 
 
 def resolve_shadow_backend_name(explicit: str | None = None) -> str:
-    """Apply the selection order; ``auto`` resolves to ``vector``."""
-    name = explicit or os.environ.get(SHADOW_BACKEND_ENV_VAR) or "auto"
+    """Apply the selection order; ``auto`` resolves to ``vector``.
+
+    The resolved name is validated against the registry *here*, before
+    any simulation work starts: a typo'd ``FLASHFLOW_SHADOW_BACKEND``
+    (or explicit name) fails fast with a :class:`ConfigurationError`
+    naming the registered backends instead of surfacing as a raw
+    ``KeyError`` mid-simulation -- the same contract as
+    :func:`repro.kernel.backends.resolve_backend_name`.
+    """
+    env = os.environ.get(SHADOW_BACKEND_ENV_VAR)
+    if explicit:
+        name, source = explicit, "backend argument"
+    elif env:
+        name, source = env, f"the {SHADOW_BACKEND_ENV_VAR} environment variable"
+    else:
+        name, source = "auto", "default"
     if name == "auto":
-        name = VectorFlowBackend.name
+        return VectorFlowBackend.name
+    if name not in _BACKENDS:
+        raise ConfigurationError(
+            f"unknown shadow backend {name!r} (from {source}); "
+            f"known backends: auto, {', '.join(shadow_backend_names())}"
+        )
     return name
 
 

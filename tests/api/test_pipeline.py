@@ -1,0 +1,199 @@
+"""Pipelined rounds are the same campaign, differently scheduled.
+
+``ExecutionConfig(pipeline=)`` overlaps each round's stateful compile
+stream with worker execution on pool backends. The contract under test:
+the streamed event sequence and the assembled ``CampaignReport`` are
+bit-identical with the pipeline on or off, for every backend -- and the
+pipeline silently stays off where there is no pool to overlap with
+(``serial``/``vector``), preserving serial's debugging granularity.
+"""
+
+import pytest
+
+from repro import quick_team
+from repro.api import (
+    Campaign,
+    CampaignCompleted,
+    ExecutionConfig,
+    RoundCompleted,
+    RoundPlanned,
+    Scenario,
+)
+from repro.core.allocation import allocate_capacity
+from repro.core.engine import MeasurementEngine, MeasurementSpec
+from repro.core.params import FlashFlowParams
+from repro.errors import ConfigurationError
+from repro.kernel.backends import get_backend
+from repro.tornet.network import synthesize_network
+from repro.tornet.relay import Relay
+from repro.units import mbit
+
+
+def _stream(backend, pipeline):
+    network = synthesize_network(n_relays=40, seed=71)
+    authority = quick_team(seed=72)
+    campaign = Campaign(
+        Scenario(network=network, team=authority),
+        ExecutionConfig(backend=backend, max_workers=2, pipeline=pipeline),
+    )
+    return list(campaign.iter_rounds()), campaign.report
+
+
+def _event_signature(event):
+    """A timing-free projection of one campaign event."""
+    if isinstance(event, RoundCompleted):
+        record = event.record
+        return (
+            "round_completed",
+            event.period_index,
+            event.round_index,
+            record.first_slot,
+            record.slots_packed,
+            tuple(
+                (
+                    m.slot_index, m.fingerprint, m.attempt, m.estimate,
+                    m.failed, m.failure_reason, m.cells_checked,
+                    m.accepted, m.retried, m.settled, m.planned_estimate,
+                )
+                for m in record.measurements
+            ),
+        )
+    if isinstance(event, RoundPlanned):
+        return (
+            "round_planned", event.period_index, event.round_index,
+            event.n_jobs, event.first_slot, event.slots_packed,
+        )
+    if isinstance(event, CampaignCompleted):
+        report = event.report
+        return (
+            "campaign_completed",
+            tuple(sorted(report.estimates.items())),
+            tuple(sorted(report.result.failures.items())),
+            report.result.slots_elapsed,
+            report.result.measurements_run,
+        )
+    return (event.kind,)
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_pipeline_on_off_bit_identical_events_and_report(backend):
+    events_off, report_off = _stream(backend, pipeline=False)
+    events_on, report_on = _stream(backend, pipeline=True)
+    assert [_event_signature(e) for e in events_off] == [
+        _event_signature(e) for e in events_on
+    ]
+    assert report_off.estimates == report_on.estimates
+    assert report_off.result.failures == report_on.result.failures
+    assert report_off.result.slots_elapsed == report_on.result.slots_elapsed
+    for ra, rb in zip(report_off.rounds, report_on.rounds):
+        assert ra.measurements == rb.measurements
+    assert len(report_on.estimates) == 40
+
+
+def test_auto_pipeline_matches_explicit_choices():
+    """pipeline=None (auto) produces the same bits as on and off."""
+    _, auto = _stream("thread", pipeline=None)
+    _, off = _stream("thread", pipeline=False)
+    assert auto.estimates == off.estimates
+    assert auto.result.measurements_run == off.result.measurements_run
+
+
+def test_pipeline_is_noop_without_a_pool():
+    """serial/vector/analytic have no workers to overlap with."""
+    for name in ("serial", "vector", "analytic"):
+        assert get_backend(name).open_stream(100, max_workers=4) is None
+    _, serial = _stream("serial", pipeline=True)
+    _, vector = _stream("vector", pipeline=True)
+    _, piped = _stream("process", pipeline=True)
+    assert serial.estimates == vector.estimates == piped.estimates
+
+
+def _specs(params, team, n=24, seed0=400, forgers=()):
+    from repro.attacks.relays import ForgingRelayBehavior
+
+    specs = []
+    for i in range(n):
+        behavior = ForgingRelayBehavior(seed=i) if i in forgers else None
+        relay = Relay.with_capacity(
+            f"relay{i}", mbit(60 + 25 * i), seed=seed0 + i, behavior=behavior
+        )
+        specs.append(
+            MeasurementSpec(
+                target=relay,
+                assignments=allocate_capacity(team, mbit(400)),
+                params=params,
+                seed=seed0 + i,
+                enforce_admission=False,
+            )
+        )
+    return specs
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_run_many_pipelined_outcomes_identical(backend):
+    params = FlashFlowParams()
+    team = quick_team(seed=4).team
+    reference = MeasurementEngine().run_many(
+        _specs(params, team), backend=backend, max_workers=2, pipeline=False
+    )
+    piped = MeasurementEngine().run_many(
+        _specs(params, team), backend=backend, max_workers=2, pipeline=True
+    )
+    for a, b in zip(reference, piped):
+        assert a.estimate == b.estimate
+        assert a.per_second_total == b.per_second_total
+        assert a.cells_checked == b.cells_checked
+
+
+def test_run_many_pipelined_with_stateful_fallbacks():
+    """Uncompilable specs (adversarial relays) run on the stateful path
+    while the stream drains -- outcomes still land in spec order."""
+    params = FlashFlowParams()
+    team = quick_team(seed=5).team
+    forgers = {3, 11, 17}
+    reference = MeasurementEngine().run_many(
+        _specs(params, team, forgers=forgers),
+        backend="thread", max_workers=2, pipeline=False,
+    )
+    piped = MeasurementEngine().run_many(
+        _specs(params, team, forgers=forgers),
+        backend="thread", max_workers=2, pipeline=True,
+    )
+    assert [o.failed for o in reference] == [o.failed for o in piped]
+    assert any(o.failed for o in piped)  # the forgers were caught
+    for a, b in zip(reference, piped):
+        assert a.estimate == b.estimate
+        assert a.per_second_total == b.per_second_total
+
+
+def test_stream_without_chunks_never_creates_a_pool():
+    """An all-fallback round must not spawn workers it will never use."""
+    stream = get_backend("thread").open_stream(100, max_workers=4)
+    assert stream is not None
+    assert stream.finish() == []
+    assert stream._pool is None
+
+
+def test_run_many_pipelined_all_fallbacks():
+    """Every spec uncompilable: the stream stays empty, results match."""
+    params = FlashFlowParams()
+    team = quick_team(seed=6).team
+    all_forgers = frozenset(range(12))
+    reference = MeasurementEngine().run_many(
+        _specs(params, team, n=12, forgers=all_forgers),
+        backend="process", max_workers=2, pipeline=False,
+    )
+    piped = MeasurementEngine().run_many(
+        _specs(params, team, n=12, forgers=all_forgers),
+        backend="process", max_workers=2, pipeline=True,
+    )
+    assert [o.failed for o in reference] == [o.failed for o in piped]
+    assert [o.estimate for o in reference] == [o.estimate for o in piped]
+
+
+def test_pipeline_config_validation():
+    with pytest.raises(ConfigurationError):
+        ExecutionConfig(pipeline="yes")
+    # The three legal values construct fine.
+    for value in (None, True, False):
+        assert ExecutionConfig(pipeline=value).pipeline is value

@@ -11,6 +11,7 @@ import statistics
 import pytest
 
 from repro import quick_team
+from repro.api import Campaign, ExecutionConfig, Scenario
 from repro.core.allocation import allocate_capacity, total_allocated
 from repro.core.engine import (
     MeasurementEngine,
@@ -224,13 +225,22 @@ def test_run_many_duplicate_targets_fall_back_to_serial(engine):
     assert [o.estimate for o in outcomes] == [o.estimate for o in expected]
 
 
+def _campaign_result(network, auth, max_workers, full_simulation=True):
+    """The supported execution path (no deprecated loose kwargs)."""
+    report = Campaign(
+        Scenario(network=network, team=auth),
+        ExecutionConfig(max_workers=max_workers, full_simulation=full_simulation),
+    ).run()
+    return report.result
+
+
 def test_measure_network_worker_count_invariant():
     network1 = synthesize_network(n_relays=20, seed=71)
     network4 = synthesize_network(n_relays=20, seed=71)
     auth1 = quick_team(seed=72)
     auth4 = quick_team(seed=72)
-    r1 = measure_network(network1, auth1, full_simulation=True, max_workers=1)
-    r4 = measure_network(network4, auth4, full_simulation=True, max_workers=4)
+    r1 = _campaign_result(network1, auth1, max_workers=1)
+    r4 = _campaign_result(network4, auth4, max_workers=4)
     assert r1.estimates == r4.estimates
     assert r1.failures == r4.failures
     assert r1.slots_elapsed == r4.slots_elapsed
@@ -241,8 +251,8 @@ def test_measure_network_analytic_worker_count_invariant():
     network = synthesize_network(n_relays=30, seed=73)
     auth1 = quick_team(seed=74)
     auth4 = quick_team(seed=74)
-    r1 = measure_network(network, auth1, full_simulation=False, max_workers=1)
-    r4 = measure_network(network, auth4, full_simulation=False, max_workers=4)
+    r1 = _campaign_result(network, auth1, max_workers=1, full_simulation=False)
+    r4 = _campaign_result(network, auth4, max_workers=4, full_simulation=False)
     assert r1.estimates == r4.estimates
     assert r1.slots_elapsed == r4.slots_elapsed
 

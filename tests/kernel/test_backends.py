@@ -12,9 +12,9 @@ import os
 import pytest
 
 from repro import quick_team
+from repro.api import Campaign, ExecutionConfig, Scenario
 from repro.core.allocation import allocate_capacity
 from repro.core.engine import MeasurementEngine, MeasurementSpec
-from repro.core.netmeasure import measure_network
 from repro.core.params import FlashFlowParams
 from repro.errors import ConfigurationError
 from repro.kernel.backends import (
@@ -33,10 +33,11 @@ ALL_BACKENDS = ("serial", "thread", "process", "vector")
 def _campaign(backend):
     network = synthesize_network(n_relays=30, seed=71)
     authority = quick_team(seed=72)
-    return measure_network(
-        network, authority, full_simulation=True,
-        backend=backend, max_workers=2,
-    )
+    report = Campaign(
+        Scenario(network=network, team=authority),
+        ExecutionConfig(backend=backend, max_workers=2),
+    ).run()
+    return report.result
 
 
 def test_all_backends_produce_identical_campaign_results():
@@ -102,6 +103,40 @@ def test_registry_and_resolution():
             os.environ[BACKEND_ENV_VAR] = old
     with pytest.raises(ConfigurationError):
         get_backend("not-a-backend")
+
+
+def test_invalid_env_backend_fails_fast_at_resolution(monkeypatch):
+    """A typo'd FLASHFLOW_KERNEL_BACKEND raises at resolution time,
+    naming the registered backends -- not a raw KeyError mid-campaign."""
+    monkeypatch.setenv(BACKEND_ENV_VAR, "vectr")
+    with pytest.raises(ConfigurationError) as excinfo:
+        resolve_backend_name(None, None)
+    message = str(excinfo.value)
+    assert BACKEND_ENV_VAR in message
+    for name in backend_names():
+        assert name in message
+    # Explicit and params-sourced names validate identically.
+    monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+    with pytest.raises(ConfigurationError, match="backend argument"):
+        resolve_backend_name("bogus", None)
+    with pytest.raises(ConfigurationError, match="kernel_backend"):
+        resolve_backend_name(None, "bogus")
+
+
+def test_invalid_env_backend_fails_before_any_measurement(monkeypatch):
+    """The campaign path surfaces the env typo as ConfigurationError."""
+    monkeypatch.setenv(BACKEND_ENV_VAR, "not-a-backend")
+    network = synthesize_network(n_relays=3, seed=11)
+    authority = quick_team(seed=12)
+    campaign = Campaign(Scenario(network=network, team=authority),
+                        ExecutionConfig())
+    with pytest.raises(ConfigurationError, match="known backends"):
+        campaign.run()
+    # The analytic path validates identically.
+    campaign = Campaign(Scenario(network=network, team=authority),
+                        ExecutionConfig(full_simulation=False))
+    with pytest.raises(ConfigurationError, match="known backends"):
+        campaign.run()
 
 
 def test_params_kernel_backend_is_honoured():

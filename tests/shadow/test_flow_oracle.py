@@ -178,3 +178,19 @@ def test_run_rejects_unknown_backend():
     sim = NetworkSimulator(network, seed=1)
     with pytest.raises(ConfigurationError):
         sim.run(network.relays.capacities(), backend="bogus")
+
+
+def test_invalid_env_backend_fails_fast_at_resolution(monkeypatch):
+    """A typo'd FLASHFLOW_SHADOW_BACKEND raises at resolution time,
+    naming the registered backends -- not a raw KeyError mid-simulation."""
+    monkeypatch.setenv(SHADOW_BACKEND_ENV_VAR, "vectr")
+    with pytest.raises(ConfigurationError) as excinfo:
+        resolve_shadow_backend_name(None)
+    message = str(excinfo.value)
+    assert SHADOW_BACKEND_ENV_VAR in message
+    for name in shadow_backend_names():
+        assert name in message
+    # Explicit and env-free resolution still validates the same way.
+    monkeypatch.delenv(SHADOW_BACKEND_ENV_VAR, raising=False)
+    with pytest.raises(ConfigurationError, match="known backends"):
+        resolve_shadow_backend_name("statefull")

@@ -38,7 +38,7 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
 from repro import quick_team  # noqa: E402
 from repro.api import Campaign, ExecutionConfig, Scenario  # noqa: E402
-from repro.core.allocation import allocate_evenly  # noqa: E402
+from repro.core.allocation import allocate_capacity, allocate_evenly  # noqa: E402
 from repro.core.engine import MeasurementEngine, MeasurementSpec  # noqa: E402
 from repro.core.measurer import Measurer  # noqa: E402
 from repro.core.params import FlashFlowParams  # noqa: E402
@@ -632,6 +632,121 @@ def measure_pipeline(repeats: int) -> dict:
     }
 
 
+#: Scale bench: columnar materialization plus one whole-network campaign
+#: round at each network size. Rounds run in the Tor-scale campaign
+#: configuration (``full_simulation=False`` -- the analytic kernel's
+#: array walk) on the vector backend; the Tor-scale row additionally
+#: times the full per-second simulation round for the perf trajectory.
+SCALE_NS = (1_000, 10_000, 100_000)
+TOR_SCALE_N = 6419  # July 2019 relay count (§6)
+
+
+def _scale_round_jobs(network, authority):
+    """One campaign round's jobs: every relay new, packed greedily."""
+    params = authority.params
+    team = authority.team
+    team_capacity = authority.team_capacity()
+    required = min(
+        params.allocation_factor * max(params.new_relay_seed, 1.0),
+        team_capacity,
+    )
+    assignments = allocate_capacity(authority.team, required)
+    rng = fork(authority.seed, "campaign-analytic")
+    jobs = [
+        _AnalyticBenchJob(
+            relay=network[fp],
+            assignments=assignments,
+            wobble=max(0.8, rng.gauss(1.0, 0.02)),
+            capped=False,
+        )
+        for fp in network.relays
+    ]
+    return params, jobs
+
+
+def measure_scale(repeats: int) -> dict:
+    """Tor-scale columnar materialization and whole-network rounds.
+
+    For each network size: best-of-N wall time to materialize the
+    columnar network (:func:`synthesize_network`'s default path) and to
+    execute one whole-network campaign round -- the analytic kernel's
+    array walk on the vector backend, the configuration Tor-scale
+    campaigns run in. The Tor-scale (6419-relay) row also times one
+    full per-second simulation round (``run_specs`` on the vector
+    backend, bulk jitter predraw included) so the full-simulation
+    trajectory is on record. ``cpu_count`` provenance lives in the
+    block: single-core CI numbers and multi-core workstation numbers
+    are not comparable.
+    """
+    from repro.kernel import run_specs
+    from repro.kernel.analytic import run_analytic_round
+
+    rows = {}
+    for n in SCALE_NS + (TOR_SCALE_N,):
+        materialize = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            network = synthesize_network(n_relays=n, seed=71)
+            materialize = min(materialize, time.perf_counter() - start)
+        authority = quick_team(seed=72)
+        engine = MeasurementEngine()
+        params, jobs = _scale_round_jobs(network, authority)
+        round_s = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = run_analytic_round(engine, jobs, params, backend="vector")
+            round_s = min(round_s, time.perf_counter() - start)
+        assert len(result.estimates) == n
+        row = {
+            "materialize_seconds": round(materialize, 4),
+            "analytic_round_seconds": round(round_s, 4),
+        }
+        if n == TOR_SCALE_N:
+            required = min(
+                params.allocation_factor * max(params.new_relay_seed, 1.0),
+                authority.team_capacity(),
+            )
+            specs = [
+                MeasurementSpec(
+                    target=network[fp],
+                    assignments=allocate_capacity(authority.team, required),
+                    params=params,
+                    seed=authority.seed + i * 7919,
+                    enforce_admission=False,
+                )
+                for i, fp in enumerate(network.relays)
+            ]
+            start = time.perf_counter()
+            outcomes = run_specs(engine, specs, backend="vector")
+            row["full_sim_round_seconds"] = round(
+                time.perf_counter() - start, 4
+            )
+            assert len(outcomes) == n
+        rows[str(n)] = row
+        print(
+            f"{'scale':22s} {n:>7d} relays  materialize "
+            f"{row['materialize_seconds']:8.3f}s  round "
+            f"{row['analytic_round_seconds']:8.4f}s"
+            + (
+                f"  full-sim {row['full_sim_round_seconds']:8.3f}s"
+                if "full_sim_round_seconds" in row
+                else ""
+            )
+        )
+    return {
+        "describe": (
+            "columnar network materialization and one whole-network "
+            "campaign round (analytic kernel, vector backend) per "
+            "network size; the Tor-scale row also times one full "
+            "per-second simulation round"
+        ),
+        "generated_unix": int(time.time()),
+        "repeats": repeats,
+        "cpu_count": os.cpu_count(),
+        "networks": rows,
+    }
+
+
 BENCHES = {
     "fig06_campaign": {
         "describe": "Figure 6 accuracy grid, 30 s slots",
@@ -710,6 +825,7 @@ def run_benches(repeats: int) -> dict:
     report["shadow_flow"] = measure_shadow_flow(repeats)
     report["analytic"] = measure_analytic(repeats)
     report["pipeline"] = measure_pipeline(repeats)
+    report["scale"] = measure_scale(repeats)
     return report
 
 
@@ -750,9 +866,14 @@ def main() -> None:
         help="run only the pipelined-rounds bench and merge its block "
              "into the existing output JSON",
     )
+    parser.add_argument(
+        "--scale", action="store_true",
+        help="run only the Tor-scale materialization/round bench and "
+             "merge its block into the existing output JSON",
+    )
     args = parser.parse_args()
 
-    if args.shadow or args.analytic or args.pipeline:
+    if args.shadow or args.analytic or args.pipeline or args.scale:
         # Merge only the requested blocks; the other benches' numbers
         # (and the top-level timestamp describing them) are untouched.
         if args.shadow:
@@ -771,6 +892,12 @@ def main() -> None:
             _merge_block(args.output, "pipeline", pipeline)
             print(f"  pipeline: "
                   f"{pipeline['speedup_pipelined_vs_batch']}x vs batch")
+        if args.scale:
+            scale = measure_scale(args.repeats)
+            _merge_block(args.output, "scale", scale)
+            biggest = scale["networks"][str(max(SCALE_NS))]
+            print(f"  scale: {max(SCALE_NS)} relays materialize in "
+                  f"{biggest['materialize_seconds']}s")
         return
 
     report = run_benches(args.repeats)

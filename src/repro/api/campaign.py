@@ -221,6 +221,7 @@ def run_period_rounds(
                 max_workers=execution.max_workers,
                 backend=execution.backend,
                 pipeline=execution.pipeline,
+                shards=execution.shards,
             )
             results = [
                 (o.estimate, o.failed, o.failure_reason, o.cells_checked)
@@ -232,7 +233,9 @@ def run_period_rounds(
             # historical scalar analytic_estimate loop and leaves the
             # decisions to the fold below. Bit-identical either way.
             analytic = run_analytic_round(
-                engine, jobs, params, backend=execution.backend
+                engine, jobs, params,
+                backend=execution.backend,
+                shards=execution.shards,
             )
             results = [(z, False, None, 0) for z in analytic.estimates]
             accepted = analytic.accepted

@@ -67,6 +67,15 @@ class ExecutionConfig:
     #: no-op on pool-less backends), ``False`` disables it. Events,
     #: estimates, and reports are bit-identical either way.
     pipeline: bool | None = None
+    #: Campaign sharding: partition each round's packed slots into this
+    #: many contiguous, balanced parts and hand the partition to the
+    #: backend as its chunk boundaries (one shard per worker task on
+    #: pool backends; in-process backends walk the shards in order).
+    #: Results merge back in slot order, so events, estimates, and
+    #: reports are bit-identical to an unsharded run. ``None`` (the
+    #: default) leaves chunking to the backend; sharding prescribes the
+    #: chunk boundaries, so ``pipeline`` is ignored when set.
+    shards: int | None = None
 
     def __post_init__(self) -> None:
         if self.backend is not None:
@@ -105,6 +114,11 @@ class ExecutionConfig:
             raise ConfigurationError(
                 "pipeline must be True, False, or None (auto)"
             )
+        if self.shards is not None:
+            if isinstance(self.shards, bool) or not isinstance(self.shards, int):
+                raise ConfigurationError("shards must be an integer or None")
+            if self.shards < 1:
+                raise ConfigurationError("shards must be >= 1 or None")
 
     def with_backend(self, backend: str | None) -> "ExecutionConfig":
         """A copy of this config on a different kernel backend."""

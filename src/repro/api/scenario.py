@@ -52,6 +52,11 @@ synthesize_network`'s July-2019 calibration defaults.
     sigma: float | None = None
     max_capacity: float | None = None
     prefix: str = "relay"
+    #: Materialize relay state as fingerprint-indexed column arrays
+    #: (:mod:`repro.tornet.columnar`) with relays as lazy views -- the
+    #: default, and required for Tor-scale (10^5+) networks. ``False``
+    #: builds eager per-relay objects; both are bit-identical.
+    columnar: bool = True
 
     def __post_init__(self) -> None:
         if self.n_relays < 1:
@@ -62,6 +67,7 @@ synthesize_network`'s July-2019 calibration defaults.
             "n_relays": self.n_relays,
             "seed": self.seed if self.seed is not None else default_seed,
             "prefix": self.prefix,
+            "columnar": self.columnar,
         }
         for name in ("median", "sigma", "max_capacity"):
             value = getattr(self, name)

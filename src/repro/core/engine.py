@@ -38,7 +38,6 @@ estimates and forgery detection are independent of the key bits; pass
 
 from __future__ import annotations
 
-import os
 import statistics
 import threading
 from dataclasses import dataclass, field
@@ -56,6 +55,7 @@ from repro.rng import fork
 from repro.tornet.relay import Relay
 from repro.tornet.relaycrypto import CircuitKey, establish_circuit_key
 from repro.units import bits_to_bytes
+from repro.workers import default_worker_count
 
 #: Median Internet RTT used when no explicit topology is given
 #: (the tmodel dataset median the paper cites in Appendix D).
@@ -590,6 +590,7 @@ class MeasurementEngine:
         max_workers: int | None = None,
         backend: str | None = None,
         pipeline: bool | None = False,
+        shards: int | None = None,
     ) -> list[MeasurementOutcome]:
         """Run independent measurements through the kernel.
 
@@ -618,12 +619,17 @@ CompiledMeasurement` objects and executed by a kernel backend
         keeps the historical compile-everything-then-execute batch.
         Results are bit-identical either way -- compiled execution is
         pure, so only scheduling changes.
+
+        ``shards`` partitions the compiled round into contiguous,
+        balanced parts handed to the backend as its chunk boundaries
+        (``ExecutionConfig(shards=)`` forwards here); the merge order is
+        deterministic, so results stay bit-identical to unsharded runs.
         """
         specs = list(specs)
         if max_workers is None:
             max_workers = self.max_workers
         if max_workers is None:
-            max_workers = min(32, (os.cpu_count() or 1) + 4)
+            max_workers = default_worker_count()
         distinct_targets = len({id(s.target) for s in specs})
         if len(specs) <= 1 or distinct_targets < len(specs):
             return [self.run(spec) for spec in specs]
@@ -635,6 +641,7 @@ CompiledMeasurement` objects and executed by a kernel backend
             backend=backend,
             max_workers=max_workers,
             pipeline=pipeline,
+            shards=shards,
         )
 
     # ------------------------------------------------------------------

@@ -80,12 +80,54 @@ __all__ = [
 ]
 
 
+def _predraw_noise(engine, specs) -> dict:
+    """Column-wise jitter predraw for the round's compilable specs.
+
+    Returns ``{spec_index: noise_row}`` for every spec whose compile is
+    *guaranteed* to reach the relay's ``draw_noise_series`` call --
+    eligibility mirrors :func:`compile_measurement` exactly (compilable,
+    at least one participating assignment, admission will be granted)
+    and each target may appear only once in the batch, so the predrawn
+    rows replace the stateful draws one for one and every relay RNG
+    stream stays on identical positions.
+    """
+    from repro.tornet.columnar import noise_row
+
+    target_counts: dict[int, int] = {}
+    for spec in specs:
+        key = id(spec.target)
+        target_counts[key] = target_counts.get(key, 0) + 1
+
+    rows: dict[int, object] = {}
+    for index, spec in enumerate(specs):
+        if target_counts[id(spec.target)] != 1:
+            continue
+        if not is_compilable(engine, spec):
+            continue
+        if not any(a.participates for a in spec.assignments):
+            continue
+        target = spec.target
+        if spec.enforce_admission and (
+            (spec.bwauth_id, spec.period_index) in target._measured_in
+        ):
+            continue
+        params = spec.params or engine.params
+        if params is None:
+            from repro.core.params import FlashFlowParams
+
+            params = FlashFlowParams()
+        duration = params.slot_seconds if spec.duration is None else spec.duration
+        rows[index] = noise_row(target, duration)
+    return rows
+
+
 def run_specs(
     engine,
     specs: Sequence,
     backend: str | None = None,
     max_workers: int | None = None,
     pipeline: bool | None = False,
+    shards: int | None = None,
 ):
     """Run independent measurement specs through the kernel.
 
@@ -112,6 +154,14 @@ def run_specs(
     settlement still happens here, in spec order, so the pipelined round
     is bit-identical to the batch path. Backends with no pool to overlap
     with (``serial``/``vector``/``analytic``) ignore the flag.
+
+    ``shards`` partitions the compiled batch into that many contiguous,
+    balanced parts and hands the partition to the backend as its chunk
+    boundaries (worker pools execute one shard per task; in-process
+    backends walk the shards in order). Results are merged back in spec
+    order, so the sharded round is bit-identical to the unsharded one.
+    Sharding prescribes chunk boundaries, so it takes the batch path
+    (``pipeline`` is ignored when ``shards`` is set).
     """
     specs = list(specs)
     first_params = (specs[0].params or engine.params) if specs else None
@@ -124,15 +174,24 @@ def run_specs(
     results = [None] * len(specs)
     fallback_indices: list[int] = []
 
+    # Bulk compile path: relay jitter for the whole round is pre-drawn
+    # column-wise up front, so the per-spec compile loop skips the
+    # stateful per-relay gauss draws (bit-identical rows, same stream
+    # positions -- see repro.tornet.columnar.noise_row).
+    predrawn = _predraw_noise(engine, specs) if specs else {}
+
     stream = (
         backend_obj.open_stream(len(specs), max_workers)
-        if (pipeline or pipeline is None)
+        if (pipeline or pipeline is None) and shards is None
         else None
     )
     if stream is not None:
         try:
             for index, spec in enumerate(specs):
-                cm = compile_measurement(engine, spec, index=index)
+                cm = compile_measurement(
+                    engine, spec, index=index,
+                    predrawn_noise=predrawn.get(index),
+                )
                 if cm is None:
                     fallback_indices.append(index)
                 else:
@@ -147,7 +206,9 @@ def run_specs(
     else:
         compiled: list[CompiledMeasurement] = []
         for index, spec in enumerate(specs):
-            cm = compile_measurement(engine, spec, index=index)
+            cm = compile_measurement(
+                engine, spec, index=index, predrawn_noise=predrawn.get(index)
+            )
             if cm is None:
                 fallback_indices.append(index)
             else:
@@ -155,7 +216,7 @@ def run_specs(
         for index in fallback_indices:
             results[index] = engine.run(specs[index])
         kernel_results = (
-            backend_obj.run(compiled, max_workers=max_workers)
+            backend_obj.run(compiled, max_workers=max_workers, shards=shards)
             if compiled
             else []
         )

@@ -50,7 +50,7 @@ import numpy as np
 
 from repro.core.engine import MeasurementEngine
 from repro.core.params import FlashFlowParams
-from repro.kernel.backends import resolve_backend_name
+from repro.kernel.backends import _shard_parts, resolve_backend_name
 
 _ALLOCATED = attrgetter("allocated")
 _WOBBLE = attrgetter("wobble")
@@ -190,6 +190,7 @@ def run_analytic_round(
     jobs: Sequence,
     params: FlashFlowParams | None = None,
     backend: str | None = None,
+    shards: int | None = None,
 ) -> AnalyticRoundResult:
     """Run one round of analytic estimates on the selected backend.
 
@@ -199,6 +200,13 @@ def run_analytic_round(
     reference -- one :meth:`MeasurementEngine.analytic_estimate` call per
     job, fold decisions left to the caller -- and every other backend
     runs the compiled array walk. Both produce bit-identical campaigns.
+
+    ``shards`` partitions the round's jobs into that many contiguous,
+    balanced parts and walks the parts in order, concatenating the
+    per-part results -- elementwise ops over a contiguous partition, so
+    the sharded round is bit-identical to the unsharded one (the
+    ``serial`` reference loop already walks jobs one at a time and
+    ignores the flag).
     """
     params = params or engine.params or FlashFlowParams()
     name = resolve_backend_name(backend, params.kernel_backend)
@@ -210,5 +218,16 @@ def run_analytic_round(
                 )
                 for job in jobs
             ]
+        )
+    if shards is not None and shards > 1 and len(jobs) > 1:
+        parts = _shard_parts(list(jobs), shards)
+        results = [
+            execute_analytic_round(compile_analytic_round(part, params))
+            for part in parts
+        ]
+        return AnalyticRoundResult(
+            estimates=[z for r in results for z in r.estimates],
+            thresholds=[t for r in results for t in r.thresholds],
+            accepted=[a for r in results for a in r.accepted],
         )
     return execute_analytic_round(compile_analytic_round(jobs, params))

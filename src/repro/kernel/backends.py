@@ -36,7 +36,14 @@ from typing import Callable, Sequence
 
 from repro.errors import ConfigurationError
 from repro.kernel.compile import CompiledMeasurement
+from repro.kernel.shm import (
+    execute_batch_shm,
+    pack_chunk,
+    shm_enabled,
+    unpack_chunk,
+)
 from repro.kernel.supply import KernelResult, execute_batch, execute_compiled
+from repro.workers import default_worker_count, workers_from_env
 
 #: Environment variable consulted when params leave the backend unset.
 BACKEND_ENV_VAR = "FLASHFLOW_KERNEL_BACKEND"
@@ -66,6 +73,39 @@ def _chunks(
     """Split a batch into contiguous chunks for a worker pool."""
     target = _chunk_target(len(compiled), workers)
     return [list(compiled[i : i + target]) for i in range(0, len(compiled), target)]
+
+
+def _shard_parts(
+    compiled: Sequence[CompiledMeasurement], shards: int
+) -> list[list[CompiledMeasurement]]:
+    """Partition a batch into ``shards`` contiguous, balanced parts.
+
+    Campaign sharding (``ExecutionConfig(shards=)``) prescribes the
+    chunk boundaries instead of :func:`_chunk_target`'s sizing.  Every
+    measurement's walk is independent and parts are merged back in
+    input order, so shard count never affects results -- only which
+    worker executes which contiguous slice of the round.
+    """
+    n = len(compiled)
+    k = max(1, min(shards, n))
+    base, extra = divmod(n, k)
+    parts = []
+    start = 0
+    for i in range(k):
+        size = base + (1 if i < extra else 0)
+        parts.append(list(compiled[start : start + size]))
+        start += size
+    return parts
+
+
+def _partition(
+    compiled: Sequence[CompiledMeasurement],
+    workers: int,
+    shards: int | None,
+) -> list[list[CompiledMeasurement]]:
+    if shards is not None and shards > 1:
+        return _shard_parts(compiled, shards)
+    return _chunks(compiled, workers)
 
 
 class KernelStream:
@@ -100,6 +140,7 @@ class KernelStream:
         max_in_flight: int,
         owns_pool: bool,
         rebuild: Callable[[], Executor] | None = None,
+        shm_transport: bool = False,
     ) -> None:
         self._pool_factory = pool_factory
         self._pool: Executor | None = None
@@ -108,8 +149,13 @@ class KernelStream:
         self._owns_pool = owns_pool
         self._rebuild = rebuild
         self._rebuilt = False
+        #: Ship chunk arrays through shared memory (process pools only).
+        #: Cleared on the first pack failure so an exhausted /dev/shm
+        #: degrades to plain pickling instead of aborting the round.
+        self._shm = shm_transport
         self._chunk: list[CompiledMeasurement] = []
-        #: (chunk, future) pairs awaiting results, oldest first.
+        #: (chunk, payload, handle, future) awaiting results, oldest
+        #: first; payload/handle are None for plain-pickled chunks.
         self._pending: deque = deque()
         self._results: list[KernelResult] = []
 
@@ -117,6 +163,11 @@ class KernelStream:
         self._chunk.append(cm)
         if len(self._chunk) >= self._chunk_target:
             self._flush()
+
+    def _submit(self, chunk, payload):
+        if payload is not None:
+            return self._pool.submit(execute_batch_shm, payload)
+        return self._pool.submit(execute_batch, chunk)
 
     def _flush(self) -> None:
         if not self._chunk:
@@ -127,31 +178,52 @@ class KernelStream:
             self._harvest_oldest()
         chunk = self._chunk
         self._chunk = []
-        self._pending.append((chunk, self._pool.submit(execute_batch, chunk)))
+        payload = handle = None
+        if self._shm:
+            payload, handle = pack_chunk(chunk)
+            if payload is None:
+                self._shm = False
+        self._pending.append((chunk, payload, handle, self._submit(chunk, payload)))
 
     def _harvest_oldest(self) -> None:
-        chunk, future = self._pending.popleft()
+        chunk, payload, handle, future = self._pending.popleft()
         try:
-            self._results.extend(future.result())
+            out = future.result()
         except BrokenProcessPool:
             if self._rebuild is None or self._rebuilt:
                 # Second failure (or a pool that cannot be rebuilt): a
                 # chunk that deterministically kills its worker must
                 # surface, not loop respawning pools.
+                if handle is not None:
+                    handle.dispose()
                 raise
             # A worker died mid-round (OOM kill, signal): rebuild the
             # pool once and re-run every chunk whose results were lost,
-            # in order -- the batch path's single-retry contract.
+            # in order -- the batch path's single-retry contract.  Shm
+            # blocks are only unlinked after harvest, so the packed
+            # payloads stay valid for resubmission.
             self._rebuilt = True
-            lost = [chunk] + [pending_chunk for pending_chunk, _ in self._pending]
+            lost = [(chunk, payload, handle)] + [
+                entry[:3] for entry in self._pending
+            ]
             self._pending.clear()
             self._pool = self._rebuild()
-            for lost_chunk in lost:
+            for lost_chunk, lost_payload, lost_handle in lost:
                 self._pending.append(
-                    (lost_chunk, self._pool.submit(execute_batch, lost_chunk))
+                    (
+                        lost_chunk,
+                        lost_payload,
+                        lost_handle,
+                        self._submit(lost_chunk, lost_payload),
+                    )
                 )
             while self._pending:
                 self._harvest_oldest()
+            return
+        if handle is not None:
+            self._results.extend(unpack_chunk(out, handle))
+        else:
+            self._results.extend(out)
 
     def finish(self) -> list[KernelResult]:
         """Flush the tail and collect every result, in input order."""
@@ -165,8 +237,10 @@ class KernelStream:
 
     def close(self) -> None:
         """Release the pool (cancelling stragglers on an aborted round)."""
-        for _, future in self._pending:
+        for _, _, handle, future in self._pending:
             future.cancel()
+            if handle is not None:
+                handle.dispose()
         if self._owns_pool and self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=True)
 
@@ -180,6 +254,7 @@ class KernelBackend:
         self,
         compiled: Sequence[CompiledMeasurement],
         max_workers: int | None = None,
+        shards: int | None = None,
     ) -> list[KernelResult]:
         raise NotImplementedError
 
@@ -201,7 +276,7 @@ class SerialBackend(KernelBackend):
 
     name = "serial"
 
-    def run(self, compiled, max_workers=None):
+    def run(self, compiled, max_workers=None, shards=None):
         return [execute_compiled(cm) for cm in compiled]
 
 
@@ -210,7 +285,16 @@ class VectorBackend(KernelBackend):
 
     name = "vector"
 
-    def run(self, compiled, max_workers=None):
+    def run(self, compiled, max_workers=None, shards=None):
+        if shards is not None and shards > 1:
+            # Per-measurement walks are independent, so executing the
+            # shard partitions separately and concatenating in order is
+            # bit-identical to the single batched walk.
+            return [
+                result
+                for part in _shard_parts(compiled, shards)
+                for result in execute_batch(part)
+            ]
         return execute_batch(compiled)
 
 
@@ -219,16 +303,18 @@ class ThreadBackend(KernelBackend):
 
     name = "thread"
 
-    def run(self, compiled, max_workers=None):
-        workers = max_workers or min(32, (os.cpu_count() or 1) + 4)
+    def run(self, compiled, max_workers=None, shards=None):
+        workers = max_workers or default_worker_count()
         if workers <= 1 or len(compiled) <= 1:
             return execute_batch(compiled)
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            chunk_results = pool.map(execute_batch, _chunks(compiled, workers))
+            chunk_results = pool.map(
+                execute_batch, _partition(compiled, workers, shards)
+            )
         return [result for chunk in chunk_results for result in chunk]
 
     def open_stream(self, n_specs, max_workers=None):
-        workers = max_workers or min(32, (os.cpu_count() or 1) + 4)
+        workers = max_workers or default_worker_count()
         if workers <= 1 or n_specs <= MIN_CHUNK:
             return None
         return KernelStream(
@@ -269,15 +355,35 @@ class ProcessBackend(KernelBackend):
             self._pool = None
             self._pool_workers = 0
 
-    def run(self, compiled, max_workers=None):
+    def _workers(self, max_workers: int | None) -> int:
         # The walks are CPU-bound: more worker processes than cores only
         # adds interpreter memory and context switches (the engine's
-        # cpu+4 default is sized for its historical thread pool).
+        # cpu+4 default is sized for its historical thread pool), so
+        # even an explicit request -- max_workers argument or the
+        # FLASHFLOW_WORKERS override -- is clamped to the core count.
         cpus = os.cpu_count() or 1
-        workers = max(1, min(max_workers or cpus, cpus, 32))
+        requested = max_workers if max_workers is not None else workers_from_env()
+        return max(1, min(requested or cpus, cpus, 32))
+
+    def run(self, compiled, max_workers=None, shards=None):
+        workers = self._workers(max_workers)
         if len(compiled) <= 1:
             return execute_batch(compiled)
-        chunks = _chunks(compiled, workers)
+        chunks = _partition(compiled, workers, shards)
+        if shm_enabled():
+            packed = []
+            for chunk in chunks:
+                payload, handle = pack_chunk(chunk)
+                if payload is None:
+                    # Shared memory unavailable/exhausted: fall back to
+                    # plain pickling for the whole batch.
+                    for _, stale in packed:
+                        stale.dispose()
+                    packed = None
+                    break
+                packed.append((payload, handle))
+            if packed is not None:
+                return self._run_shm(packed, workers)
         try:
             chunk_results = list(
                 self._get_pool(workers).map(execute_batch, chunks)
@@ -292,9 +398,42 @@ class ProcessBackend(KernelBackend):
             )
         return [result for chunk in chunk_results for result in chunk]
 
+    def _run_shm(self, packed, workers):
+        """Execute pre-packed shm chunks, harvesting in input order.
+
+        Blocks are unlinked per chunk right after harvest, so a
+        broken-pool rebuild can resubmit every not-yet-harvested payload
+        unchanged (the single-retry contract of the pickling path).
+        """
+        pool = self._get_pool(workers)
+        futures = [pool.submit(execute_batch_shm, payload) for payload, _ in packed]
+        results: list[KernelResult] = []
+        retried = False
+        index = 0
+        try:
+            while index < len(packed):
+                try:
+                    light = futures[index].result()
+                except BrokenProcessPool:
+                    if retried:
+                        raise
+                    retried = True
+                    self.shutdown()
+                    pool = self._get_pool(workers)
+                    for j in range(index, len(packed)):
+                        futures[j] = pool.submit(
+                            execute_batch_shm, packed[j][0]
+                        )
+                    continue
+                results.extend(unpack_chunk(light, packed[index][1]))
+                index += 1
+        finally:
+            for j in range(index, len(packed)):
+                packed[j][1].dispose()
+        return results
+
     def open_stream(self, n_specs, max_workers=None):
-        cpus = os.cpu_count() or 1
-        workers = max(1, min(max_workers or cpus, cpus, 32))
+        workers = self._workers(max_workers)
         if n_specs <= MIN_CHUNK:
             return None
 
@@ -311,6 +450,7 @@ class ProcessBackend(KernelBackend):
             max_in_flight=workers * 4,
             owns_pool=False,
             rebuild=rebuild,
+            shm_transport=shm_enabled(),
         )
 
 

@@ -191,13 +191,22 @@ def is_compilable(engine: MeasurementEngine, spec: MeasurementSpec) -> bool:
 
 
 def compile_measurement(
-    engine: MeasurementEngine, spec: MeasurementSpec, index: int = 0
+    engine: MeasurementEngine,
+    spec: MeasurementSpec,
+    index: int = 0,
+    predrawn_noise: np.ndarray | None = None,
 ) -> CompiledMeasurement | None:
     """Lower ``spec`` to a :class:`CompiledMeasurement`, or ``None``.
 
     Must be called in the same relative order as the stateful path would
     have run the spec's prepare phase: it consumes the measurement RNG
     stream, the relay's jitter stream, and the relay's admission state.
+
+    ``predrawn_noise`` is a column-wise jitter row from
+    :func:`repro.tornet.columnar.noise_row` (see ``run_specs``'s bulk
+    predraw): when given, the relay's stateful ``draw_noise_series``
+    call is skipped and the consumed draws are recorded on the relay as
+    a pending skip, keeping its RNG stream position identical.
     """
     if not is_compilable(engine, spec):
         return None
@@ -248,11 +257,16 @@ def compile_measurement(
     # with the environment factor exactly as measured_second does
     # (noise * external_factor, then capacity *= that product).
     env = inputs.env
-    noise_env = np.fromiter(
-        (draw * env for draw in target.draw_noise_series(duration)),
-        dtype=np.float64,
-        count=duration,
-    )
+    if predrawn_noise is not None:
+        assert predrawn_noise.shape[0] == duration
+        target._noise_skip += duration
+        noise_env = predrawn_noise * env
+    else:
+        noise_env = np.fromiter(
+            (draw * env for draw in target.draw_noise_series(duration)),
+            dtype=np.float64,
+            count=duration,
+        )
 
     base_capacity = target.forwarding_capacity(
         n_measurement_sockets=params.n_sockets,

@@ -1,0 +1,267 @@
+"""Shared-memory transport for the process backend.
+
+The process backend historically pickled every
+:class:`~repro.kernel.compile.CompiledMeasurement` into the pool and
+every :class:`~repro.kernel.supply.KernelResult` back out.  The bulky
+parts -- the per-second input arrays (``noise_env``, ``background``),
+the 625-word measurement-RNG state, and the six per-second result
+arrays -- are flat numeric data, so they move through one
+``multiprocessing.shared_memory`` block per chunk instead:
+
+- the parent *packs* a chunk: creates one block sized for the chunk's
+  inputs, RNG words, and a pre-allocated output region; copies the
+  arrays in; and keeps a tiny picklable payload (per-measurement
+  skeletons plus byte offsets);
+- the worker *attaches* by name, rebuilds numpy views at the recorded
+  offsets, executes the chunk with the ordinary
+  :func:`~repro.kernel.supply.execute_batch`, writes the result arrays
+  into the output region, detaches, and returns scalar-only skeletons;
+- the parent rebuilds full :class:`KernelResult` objects from the
+  output region and unlinks the block.
+
+Create/attach/unlink responsibilities are split exactly that way on
+purpose: on CPython 3.11 only the *creating* process registers a block
+with the resource tracker, so parent-creates / worker-attaches /
+parent-unlinks leaves nothing for the tracker to complain about, and a
+broken-pool retry can resubmit the same payload because the block is
+only unlinked after its results were harvested.
+
+Results are bit-identical to the pickling path: the worker runs the
+same ``execute_batch`` over views of the same float64 values, and the
+parent copies the outputs back out unchanged.  Set ``FLASHFLOW_SHM=0``
+to force the plain pickling transport; packing also falls back
+transparently when shared memory is unavailable (e.g. no ``/dev/shm``).
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.kernel.supply import KernelResult, execute_batch
+
+try:  # pragma: no cover - stdlib, but gate anyway for exotic builds
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover
+    shared_memory = None
+
+#: Environment toggle: "0"/"false"/"no"/"off" disables the shm transport.
+SHM_ENV = "FLASHFLOW_SHM"
+
+#: KernelResult array fields, in output-region order.
+RESULT_ARRAY_FIELDS = (
+    "measurement",
+    "background_reported",
+    "background_clamped",
+    "totals",
+    "capacity_bits",
+    "total_bytes",
+)
+
+
+def shm_enabled() -> bool:
+    """Whether the shared-memory transport is enabled and available."""
+    if shared_memory is None:
+        return False
+    return os.environ.get(SHM_ENV, "").strip().lower() not in (
+        "0", "false", "no", "off",
+    )
+
+
+@dataclass
+class ShmChunk:
+    """Parent-side handle for one packed chunk (block + layout)."""
+
+    block: object
+    #: Total block size in bytes (worker re-derives views from offsets).
+    size: int
+    #: (array_offset, duration) per measurement, in chunk order.
+    layout: list = field(default_factory=list)
+
+    def dispose(self) -> None:
+        """Close and unlink the block, swallowing double-dispose races."""
+        try:
+            self.block.close()
+        except (OSError, BufferError):
+            pass
+        try:
+            self.block.unlink()
+        except (OSError, FileNotFoundError):
+            pass
+
+
+def _align8(n: int) -> int:
+    return (n + 7) & ~7
+
+
+def pack_chunk(chunk) -> tuple[tuple | None, ShmChunk | None]:
+    """Pack compiled measurements into one shared block.
+
+    Returns ``(payload, handle)`` -- the payload is small and picklable,
+    the handle stays with the parent -- or ``(None, None)`` when shared
+    memory cannot be used (caller falls back to plain pickling).
+    """
+    if not chunk:
+        return None, None
+    offsets = []
+    total = 0
+    for cm in chunk:
+        d = cm.duration
+        arr_off = total
+        # 2*d input doubles (noise_env, background) + 6*d output doubles.
+        total += 8 * d * 8
+        words = cm.rng_state[1] if cm.rng_state else ()
+        rng_off = total
+        total += _align8(4 * len(words))
+        offsets.append((arr_off, rng_off, len(words)))
+    try:
+        block = shared_memory.SharedMemory(create=True, size=max(8, total))
+    except (OSError, ValueError):
+        return None, None
+    metas = []
+    for cm, (arr_off, rng_off, n_words) in zip(chunk, offsets):
+        d = cm.duration
+        if d:
+            inputs = np.ndarray(
+                2 * d, dtype=np.float64, buffer=block.buf, offset=arr_off
+            )
+            inputs[:d] = cm.noise_env
+            inputs[d:] = cm.background
+            del inputs
+        if n_words:
+            words = np.ndarray(
+                n_words, dtype=np.uint32, buffer=block.buf, offset=rng_off
+            )
+            words[:] = cm.rng_state[1]
+            del words
+        skeleton = copy.copy(cm)
+        skeleton.noise_env = None
+        skeleton.background = None
+        skeleton.rng_state = None
+        rng_meta = (
+            (cm.rng_state[0], cm.rng_state[2]) if cm.rng_state else None
+        )
+        metas.append((skeleton, arr_off, rng_off, n_words, rng_meta))
+    handle = ShmChunk(
+        block=block,
+        size=max(8, total),
+        layout=[(off[0], cm.duration) for cm, off in zip(chunk, offsets)],
+    )
+    return (block.name, metas), handle
+
+
+def execute_batch_shm(payload):
+    """Worker entry point: attach, rebuild, execute, write back, detach.
+
+    Returns one scalar-only result skeleton per measurement:
+    ``(index, estimate, cells_checked, duration, total_allocated,
+    has_arrays, final_bucket_tokens, outcome)``.
+    """
+    name, metas = payload
+    block = shared_memory.SharedMemory(name=name)
+    try:
+        return _execute_attached(block, metas)
+    finally:
+        # Views into the mapping are all dropped inside
+        # _execute_attached's frame; on an exception the traceback may
+        # still pin them, in which case the mapping leaks with the
+        # (already failing) task rather than masking the real error.
+        try:
+            block.close()
+        except BufferError:  # pragma: no cover
+            pass
+
+
+def _execute_attached(block, metas):
+    cms = []
+    for skeleton, arr_off, rng_off, n_words, rng_meta in metas:
+        d = skeleton.duration
+        if d:
+            inputs = np.ndarray(
+                2 * d, dtype=np.float64, buffer=block.buf, offset=arr_off
+            )
+            skeleton.noise_env = inputs[:d]
+            skeleton.background = inputs[d:]
+        else:
+            skeleton.noise_env = np.zeros(0)
+            skeleton.background = np.zeros(0)
+        if n_words:
+            words = np.ndarray(
+                n_words, dtype=np.uint32, buffer=block.buf, offset=rng_off
+            )
+            version, gauss_next = rng_meta
+            skeleton.rng_state = (version, tuple(words.tolist()), gauss_next)
+        else:
+            skeleton.rng_state = ()
+        cms.append(skeleton)
+
+    results = execute_batch(cms)
+
+    light = []
+    for result, (skeleton, arr_off, _, _, _) in zip(results, metas):
+        d = skeleton.duration
+        has_arrays = bool(result.total_bytes.size)
+        if has_arrays:
+            out = np.ndarray(
+                6 * d,
+                dtype=np.float64,
+                buffer=block.buf,
+                offset=arr_off + 2 * d * 8,
+            )
+            for k, name in enumerate(RESULT_ARRAY_FIELDS):
+                out[k * d:(k + 1) * d] = getattr(result, name)
+            del out
+        light.append(
+            (
+                result.index,
+                result.estimate,
+                result.cells_checked,
+                result.duration,
+                result.total_allocated,
+                has_arrays,
+                result.final_bucket_tokens,
+                result.outcome,
+            )
+        )
+        # Drop the views before the caller closes the mapping.
+        skeleton.noise_env = None
+        skeleton.background = None
+    return light
+
+
+def unpack_chunk(light, handle: ShmChunk) -> list[KernelResult]:
+    """Rebuild full results from the output region; disposes the block."""
+    results = []
+    try:
+        for row, (arr_off, d) in zip(light, handle.layout):
+            (index, estimate, cells_checked, duration, total_allocated,
+             has_arrays, final_bucket_tokens, outcome) = row
+            arrays = {}
+            if has_arrays:
+                out = np.ndarray(
+                    6 * d,
+                    dtype=np.float64,
+                    buffer=handle.block.buf,
+                    offset=arr_off + 2 * d * 8,
+                )
+                for k, name in enumerate(RESULT_ARRAY_FIELDS):
+                    arrays[name] = out[k * d:(k + 1) * d].copy()
+                del out
+            results.append(
+                KernelResult(
+                    index=index,
+                    estimate=estimate,
+                    cells_checked=cells_checked,
+                    duration=duration,
+                    total_allocated=total_allocated,
+                    final_bucket_tokens=final_bucket_tokens,
+                    outcome=outcome,
+                    **arrays,
+                )
+            )
+    finally:
+        handle.dispose()
+    return results

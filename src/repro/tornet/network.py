@@ -14,6 +14,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.errors import ConfigurationError
 from repro.rng import fork
 from repro.tornet.relay import Relay
 from repro.units import mbit
@@ -53,17 +54,29 @@ class TorNetwork:
         return {fp: r.true_capacity for fp, r in self.relays.items()}
 
     def total_capacity(self) -> float:
+        if not self.relays:
+            raise ConfigurationError(
+                "total_capacity is undefined on an empty network"
+            )
         return sum(r.true_capacity for r in self.relays.values())
 
     def max_capacity(self) -> float:
         if not self.relays:
-            return 0.0
+            raise ConfigurationError(
+                "max_capacity is undefined on an empty network"
+            )
         return max(r.true_capacity for r in self.relays.values())
 
     def percentile_capacity(self, pct: float) -> float:
-        """The ``pct``-th percentile of relay capacities (0-100)."""
+        """The ``pct``-th percentile of relay capacities (0-100).
+
+        ``pct=0`` is the minimum capacity, ``pct=100`` the maximum;
+        intermediate ranks interpolate linearly between order statistics.
+        """
         if not self.relays:
-            return 0.0
+            raise ConfigurationError(
+                "percentile_capacity is undefined on an empty network"
+            )
         values = sorted(r.true_capacity for r in self.relays.values())
         if len(values) == 1:
             return values[0]
@@ -107,8 +120,26 @@ def synthesize_network(
     sigma: float = _LOGNORMAL_SIGMA,
     max_capacity: float = JULY_2019_MAX_CAPACITY,
     prefix: str = "relay",
+    columnar: bool = True,
 ) -> TorNetwork:
-    """Generate a synthetic Tor network with July-2019-like capacities."""
+    """Generate a synthetic Tor network with July-2019-like capacities.
+
+    ``columnar=True`` (the default) materializes the network as a
+    :class:`repro.tornet.columnar.ColumnarTorNetwork`: relay state is
+    sampled column-wise into numpy arrays (Tor-scale networks in well
+    under a second) and relays are lazy views over the columns.  The
+    result is bit-identical to ``columnar=False`` -- same fingerprints,
+    capacities, flags, seeds, and downstream RNG streams -- which keeps
+    the plain object path available as the oracle.
+    """
+    if columnar:
+        from repro.tornet.columnar import ColumnarTorNetwork, synthesize_columns
+
+        return ColumnarTorNetwork(
+            synthesize_columns(
+                n_relays, seed, median, sigma, max_capacity, prefix
+            )
+        )
     rng = fork(seed, f"network-{prefix}-{n_relays}")
     network = TorNetwork()
     for index in range(n_relays):
@@ -135,11 +166,34 @@ def sample_scaled_network(
     modelling best practices the paper cites [20].
     """
     rng = fork(seed, "scaled-network")
+    from repro.tornet.columnar import ColumnarTorNetwork
+
+    if isinstance(full, ColumnarTorNetwork) and full.relays.is_pure:
+        # Column fast path: the stable argsort over the capacity column
+        # is the same permutation as sorted() over the views (iteration
+        # order is column order), and the randrange stream is untouched,
+        # so the picked relays -- shared view objects, like the object
+        # path's shared Relay objects -- are identical.
+        import numpy as np
+
+        order = np.argsort(
+            full.columns.true_capacity_array(), kind="stable"
+        ).tolist()
+        take = max(1, round(len(order) * fraction))
+        stride = len(order) / take
+        picked = []
+        for i in range(take):
+            window_start = int(i * stride)
+            window_end = max(window_start + 1, int((i + 1) * stride))
+            picked.append(
+                full.relays.view(order[rng.randrange(window_start, window_end)])
+            )
+        return TorNetwork({r.fingerprint: r for r in picked})
     ordered = sorted(
         full.relays.values(), key=lambda r: r.true_capacity
     )
     take = max(1, round(len(ordered) * fraction))
-    picked: list[Relay] = []
+    picked = []
     stride = len(ordered) / take
     for i in range(take):
         window_start = int(i * stride)

@@ -100,6 +100,10 @@ class Relay:
         # Forked lazily on first draw: campaign-scale networks create tens
         # of thousands of relays, most never measured in a given bench.
         self._lazy_rng: random.Random | None = None
+        #: Noise draws consumed column-wise (repro.tornet.columnar) but
+        #: not yet replayed on the CPython stream; resolved on first
+        #: stateful access so both paths stay on identical positions.
+        self._noise_skip = 0
         #: (bwauth_id, period_index) pairs already measured; the relay only
         #: accepts one measurement per BWAuth per period (paper §4.1).
         self._measured_in: set[tuple[str, int]] = set()
@@ -108,6 +112,11 @@ class Relay:
     def _rng(self) -> random.Random:
         if self._lazy_rng is None:
             self._lazy_rng = fork(self.seed, f"relay-{self.fingerprint}")
+        if self._noise_skip:
+            skip, self._noise_skip = self._noise_skip, 0
+            gauss, jitter = self._lazy_rng.gauss, self.jitter
+            for _ in range(skip):
+                gauss(1.0, jitter)
         return self._lazy_rng
 
     # ------------------------------------------------------------------

@@ -1,0 +1,63 @@
+"""Worker-count policy shared by the kernel backends and the engine.
+
+Every parallel execution path (thread pool, process pool, the engine's
+``run_many``) previously hard-coded the same heuristic --
+``min(32, (os.cpu_count() or 1) + 4)``, mirroring the stdlib's
+``ThreadPoolExecutor`` default.  It now lives here once, together with
+the ``FLASHFLOW_WORKERS`` environment override so operators can pin the
+pool size without touching call sites.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import ConfigurationError
+
+#: Environment variable overriding the default worker count everywhere.
+WORKERS_ENV = "FLASHFLOW_WORKERS"
+
+#: Upper bound on the heuristic default (stdlib executor convention).
+MAX_DEFAULT_WORKERS = 32
+
+
+def workers_from_env() -> int | None:
+    """The validated ``FLASHFLOW_WORKERS`` override, or None when unset.
+
+    Fails fast with :class:`ConfigurationError` on non-integer or
+    non-positive values so a typo'd deployment knob cannot silently fall
+    back to the heuristic.
+    """
+    raw = os.environ.get(WORKERS_ENV)
+    if raw is None or raw.strip() == "":
+        return None
+    try:
+        value = int(raw.strip())
+    except ValueError:
+        raise ConfigurationError(
+            f"{WORKERS_ENV} must be an integer, got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise ConfigurationError(
+            f"{WORKERS_ENV} must be positive, got {value}"
+        )
+    return value
+
+
+def default_worker_count() -> int:
+    """The worker count used when a caller does not pass ``max_workers``.
+
+    ``FLASHFLOW_WORKERS`` wins when set (validated); otherwise the stdlib
+    thread-pool heuristic ``min(32, cpu_count + 4)``.
+    """
+    override = workers_from_env()
+    if override is not None:
+        return override
+    return min(MAX_DEFAULT_WORKERS, (os.cpu_count() or 1) + 4)
+
+
+def resolve_worker_count(max_workers: int | None) -> int:
+    """``max_workers`` when given, else :func:`default_worker_count`."""
+    if max_workers is not None:
+        return max_workers
+    return default_worker_count()

@@ -1,0 +1,131 @@
+"""Campaign sharding oracle: ``ExecutionConfig(shards=)`` is invisible.
+
+A sharded round partitions its packed slots into contiguous, balanced
+parts and merges the results back in slot order -- so events, per-round
+records, estimates, and failures must be *bit-identical* to the
+unsharded campaign on every backend and in both simulation modes.
+"""
+
+import pytest
+
+from repro.api import Campaign, ExecutionConfig, Scenario
+from repro.api.events import RoundCompleted, RoundPlanned
+from repro.api.scenario import NetworkSpec, TeamSpec
+from repro.errors import ConfigurationError
+from repro.kernel.backends import _shard_parts
+
+
+def _report_key(report):
+    measurements = []
+    for rnd in report.rounds:
+        for m in rnd.measurements:
+            measurements.append(
+                (
+                    m.period_index,
+                    m.round_index,
+                    m.slot_index,
+                    m.fingerprint,
+                    m.attempt,
+                    m.planned_estimate,
+                    m.estimate,
+                    m.failed,
+                    m.failure_reason,
+                    m.accepted,
+                    m.retried,
+                    m.cells_checked,
+                    m.settled,
+                )
+            )
+    return (
+        measurements,
+        dict(report.result.estimates),
+        dict(report.result.failures),
+        report.result.measurements_run,
+        report.result.slots_elapsed,
+    )
+
+
+def _run(backend, shards, full_simulation=True, n_relays=16):
+    scenario = Scenario(
+        network=NetworkSpec(n_relays=n_relays, seed=301),
+        team=TeamSpec(seed=302),
+    )
+    execution = ExecutionConfig(
+        backend=backend,
+        max_workers=2,
+        full_simulation=full_simulation,
+        shards=shards,
+    )
+    events = []
+    report = Campaign(scenario, execution).run(
+        observers=[type("Obs", (), {"on_event": lambda self, e: events.append(e)})()]
+    )
+    round_events = [
+        (e.round_index, e.n_jobs, e.first_slot, e.slots_packed)
+        for e in events
+        if isinstance(e, RoundPlanned)
+    ]
+    completed = [
+        e.record.round_index for e in events if isinstance(e, RoundCompleted)
+    ]
+    return _report_key(report), round_events, completed
+
+
+@pytest.mark.parametrize("backend", ["serial", "thread", "process", "vector"])
+def test_sharded_campaign_bit_identical(backend):
+    baseline = _run(backend, None)
+    for shards in (1, 2, 3, 7):
+        assert _run(backend, shards) == baseline, (backend, shards)
+
+
+@pytest.mark.parametrize("shards", [None, 1, 3])
+def test_analytic_campaign_sharding_bit_identical(shards):
+    baseline = _run("vector", None, full_simulation=False)
+    assert _run("vector", shards, full_simulation=False) == baseline
+
+
+def test_more_shards_than_jobs():
+    baseline = _run("vector", None, n_relays=3)
+    assert _run("vector", 64, n_relays=3) == baseline
+
+
+def test_shard_parts_contiguous_and_balanced():
+    items = list(range(10))
+    parts = _shard_parts(items, 4)
+    assert [len(p) for p in parts] == [3, 3, 2, 2]
+    assert [x for p in parts for x in p] == items
+    assert _shard_parts(items, 1) == [items]
+    # Never more parts than items.
+    assert [len(p) for p in _shard_parts([1, 2], 5)] == [1, 1]
+
+
+def test_shards_validation():
+    assert ExecutionConfig(shards=4).shards == 4
+    assert ExecutionConfig().shards is None
+    with pytest.raises(ConfigurationError, match="shards"):
+        ExecutionConfig(shards=0)
+    with pytest.raises(ConfigurationError, match="shards"):
+        ExecutionConfig(shards=-2)
+    with pytest.raises(ConfigurationError, match="shards"):
+        ExecutionConfig(shards=2.5)
+    with pytest.raises(ConfigurationError, match="shards"):
+        ExecutionConfig(shards=True)
+
+
+def test_sharding_with_retries_bit_identical():
+    """A scenario that forces retry rounds keeps the per-round event
+    stream identical under sharding (retries re-enter the next round)."""
+    scenario = Scenario(
+        network=NetworkSpec(n_relays=10, seed=311),
+        team=TeamSpec(seed=312),
+        priors="truth",
+    )
+
+    def run(shards):
+        report = Campaign(
+            scenario,
+            ExecutionConfig(backend="vector", shards=shards, max_workers=2),
+        ).run()
+        return _report_key(report), len(report.rounds)
+
+    assert run(3) == run(None)

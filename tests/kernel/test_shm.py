@@ -1,0 +1,125 @@
+"""Oracle suite for the shared-memory transport (repro.kernel.shm).
+
+The shm codec must be invisible: pack -> execute -> unpack produces
+:class:`KernelResult` objects bit-identical to running
+:func:`execute_batch` on the original compiled measurements, and the
+process backend produces bit-identical outcomes with the transport on
+or off.
+"""
+
+import numpy as np
+import pytest
+
+from repro import quick_team
+from repro.core.allocation import allocate_capacity
+from repro.core.engine import MeasurementEngine, MeasurementSpec
+from repro.kernel import compile_measurement
+from repro.kernel.shm import (
+    SHM_ENV,
+    execute_batch_shm,
+    pack_chunk,
+    shm_enabled,
+    unpack_chunk,
+)
+from repro.kernel.supply import execute_batch
+from repro.tornet.network import synthesize_network
+from repro.units import mbit
+
+
+def _compiled_chunk(n=6, seed=201):
+    """A compiled chunk exercising buckets and an admission refusal."""
+    net = synthesize_network(n_relays=n, seed=seed)
+    authority = quick_team(seed=seed + 1)
+    engine = MeasurementEngine()
+    fps = list(net.relays)
+    net[fps[0]].set_rate_limit(mbit(40))
+    # Pre-admit one relay so its spec compiles to an early refusal.
+    net[fps[1]]._measured_in.add(("auth", 0))
+    chunk = []
+    for i, fp in enumerate(fps):
+        spec = MeasurementSpec(
+            target=net[fp],
+            assignments=allocate_capacity(authority.team, mbit(400)),
+            params=authority.params,
+            seed=300 + i,
+            bwauth_id="auth",
+            period_index=0,
+            enforce_admission=True,
+        )
+        cm = compile_measurement(engine, spec, index=i)
+        assert cm is not None
+        chunk.append(cm)
+    assert any(cm.outcome is not None for cm in chunk)
+    return chunk
+
+
+def _assert_results_identical(got, want):
+    assert len(got) == len(want)
+    for a, b in zip(got, want):
+        assert a.index == b.index
+        assert a.estimate == b.estimate
+        assert a.cells_checked == b.cells_checked
+        assert a.duration == b.duration
+        assert a.total_allocated == b.total_allocated
+        assert a.final_bucket_tokens == b.final_bucket_tokens
+        for name in (
+            "measurement",
+            "background_reported",
+            "background_clamped",
+            "totals",
+            "capacity_bits",
+            "total_bytes",
+        ):
+            assert np.array_equal(getattr(a, name), getattr(b, name))
+        oa, ob = a.to_outcome(), b.to_outcome()
+        assert oa.estimate == ob.estimate
+        assert oa.failed == ob.failed
+        assert oa.failure_reason == ob.failure_reason
+
+
+@pytest.mark.skipif(not shm_enabled(), reason="shared memory unavailable")
+def test_pack_execute_unpack_bit_identical_to_execute_batch():
+    chunk = _compiled_chunk()
+    reference = execute_batch(_compiled_chunk())
+
+    payload, handle = pack_chunk(chunk)
+    assert payload is not None and handle is not None
+    light = execute_batch_shm(payload)
+    results = unpack_chunk(light, handle)
+    _assert_results_identical(results, reference)
+
+
+@pytest.mark.skipif(not shm_enabled(), reason="shared memory unavailable")
+def test_unpacked_arrays_survive_block_disposal():
+    chunk = _compiled_chunk(n=3, seed=210)
+    payload, handle = pack_chunk(chunk)
+    results = unpack_chunk(execute_batch_shm(payload), handle)
+    # The block is unlinked inside unpack_chunk; results must own copies.
+    for result in results:
+        if result.total_bytes.size:
+            assert result.total_bytes.sum() >= 0.0
+
+
+def test_pack_empty_chunk_falls_back():
+    assert pack_chunk([]) == (None, None)
+
+
+def _campaign_estimates(monkeypatch, shm_value):
+    from repro.api import Campaign, ExecutionConfig, Scenario
+    from repro.api.scenario import NetworkSpec, TeamSpec
+
+    if shm_value is None:
+        monkeypatch.delenv(SHM_ENV, raising=False)
+    else:
+        monkeypatch.setenv(SHM_ENV, shm_value)
+    report = Campaign(
+        Scenario(network=NetworkSpec(n_relays=12, seed=220), team=TeamSpec(seed=221)),
+        ExecutionConfig(backend="process", max_workers=2),
+    ).run()
+    return dict(report.result.estimates), dict(report.result.failures)
+
+
+def test_process_backend_bit_identical_with_and_without_shm(monkeypatch):
+    on = _campaign_estimates(monkeypatch, None)
+    off = _campaign_estimates(monkeypatch, "0")
+    assert on == off

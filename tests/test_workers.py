@@ -1,0 +1,100 @@
+"""The shared worker-count heuristic and its environment override."""
+
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workers import (
+    MAX_DEFAULT_WORKERS,
+    WORKERS_ENV,
+    default_worker_count,
+    resolve_worker_count,
+    workers_from_env,
+)
+
+
+@pytest.fixture
+def workers_env(monkeypatch):
+    def set_env(value):
+        if value is None:
+            monkeypatch.delenv(WORKERS_ENV, raising=False)
+        else:
+            monkeypatch.setenv(WORKERS_ENV, value)
+
+    return set_env
+
+
+def test_default_matches_historical_heuristic(workers_env):
+    workers_env(None)
+    assert default_worker_count() == min(
+        MAX_DEFAULT_WORKERS, (os.cpu_count() or 1) + 4
+    )
+
+
+def test_env_override(workers_env):
+    workers_env("3")
+    assert workers_from_env() == 3
+    assert default_worker_count() == 3
+    workers_env("  12  ")
+    assert default_worker_count() == 12
+
+
+def test_unset_or_empty_env_is_no_override(workers_env):
+    workers_env(None)
+    assert workers_from_env() is None
+    workers_env("   ")
+    assert workers_from_env() is None
+
+
+@pytest.mark.parametrize("bad", ["zero", "2.5", "1e3", "-", ""])
+def test_non_integer_env_raises(workers_env, bad):
+    workers_env(bad or " ")
+    if not bad.strip():
+        assert workers_from_env() is None
+        return
+    with pytest.raises(ConfigurationError, match="must be an integer"):
+        workers_from_env()
+
+
+@pytest.mark.parametrize("bad", ["0", "-1", "-32"])
+def test_non_positive_env_raises(workers_env, bad):
+    workers_env(bad)
+    with pytest.raises(ConfigurationError, match="must be positive"):
+        workers_from_env()
+
+
+def test_resolve_prefers_explicit_argument(workers_env):
+    workers_env("5")
+    assert resolve_worker_count(2) == 2
+    assert resolve_worker_count(None) == 5
+
+
+def test_engine_run_many_respects_env_override(workers_env):
+    """The deduplicated heuristic is what run_many actually consults."""
+    from repro import quick_team
+    from repro.core.allocation import allocate_capacity
+    from repro.core.engine import MeasurementEngine, MeasurementSpec
+    from repro.tornet.network import synthesize_network
+    from repro.units import mbit
+
+    def outcomes(env_value):
+        workers_env(env_value)
+        net = synthesize_network(n_relays=4, seed=61)
+        authority = quick_team(seed=62)
+        specs = [
+            MeasurementSpec(
+                target=net[fp],
+                assignments=allocate_capacity(authority.team, mbit(400)),
+                params=authority.params,
+                seed=90 + i,
+                enforce_admission=False,
+            )
+            for i, fp in enumerate(net.relays)
+        ]
+        engine = MeasurementEngine()
+        return [
+            (o.estimate, o.failed) for o in engine.run_many(specs, backend="thread")
+        ]
+
+    assert outcomes("1") == outcomes("4") == outcomes(None)

@@ -38,6 +38,7 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
 from repro import quick_team  # noqa: E402
 from repro.api import Campaign, ExecutionConfig, Scenario  # noqa: E402
+from repro.obs import Tracer, use_tracer  # noqa: E402
 from repro.core.allocation import allocate_capacity, allocate_evenly  # noqa: E402
 from repro.core.engine import MeasurementEngine, MeasurementSpec  # noqa: E402
 from repro.core.measurer import Measurer  # noqa: E402
@@ -55,6 +56,21 @@ DEFAULT_OUTPUT = (
     / "benchmarks" / "results" / "BENCH_kernel.json"
 )
 BACKENDS = ("serial", "thread", "process", "vector")
+
+#: The bench's own recording tracer: every timed block is a span here
+#: (the same clock discipline ``repro.obs`` uses everywhere else),
+#: replacing the historical ad-hoc perf_counter pairs. It is *not*
+#: installed as the ambient tracer, so timed campaign code still runs
+#: its zero-overhead null-tracer path -- except in ``measure_stages``,
+#: which installs one deliberately to record the campaign's own spans.
+_BENCH_TRACER = Tracer()
+
+
+def _timed(name: str, fn, **attrs):
+    """Run ``fn`` under a bench span; returns (wall_seconds, result)."""
+    with _BENCH_TRACER.span(name, **attrs) as span:
+        result = fn()
+    return span.wall_seconds, result
 
 #: Ground-truth Tor capacity of US-SW per configured limit (§6.1, E.2) --
 #: the same grid the fig06/fig15 pytest benches sweep.
@@ -159,12 +175,12 @@ def _time_spec_campaign(make_specs, mode: str, repeats: int):
     for _ in range(repeats):
         specs = make_specs()
         engine = MeasurementEngine()
-        start = time.perf_counter()
         if mode == "pr1_engine":
-            outcomes = [engine.run(spec) for spec in specs]
+            run = lambda: [engine.run(spec) for spec in specs]  # noqa: E731
         else:
-            outcomes = engine.run_many(specs, backend=mode)
-        best = min(best, time.perf_counter() - start)
+            run = lambda: engine.run_many(specs, backend=mode)  # noqa: E731
+        seconds, outcomes = _timed("bench.spec_campaign", run, mode=mode)
+        best = min(best, seconds)
         signature = sum(o.estimate for o in outcomes)
         count = len(outcomes)
     return best, signature, count
@@ -197,9 +213,10 @@ def _time_network_campaign(mode: str, repeats: int, n_relays: int = 200):
             ExecutionConfig(backend=backend),
             engine=engine,
         )
-        start = time.perf_counter()
-        report = campaign.run()
-        best = min(best, time.perf_counter() - start)
+        seconds, report = _timed(
+            "bench.network_campaign", campaign.run, mode=mode
+        )
+        best = min(best, seconds)
         signature = sum(report.estimates.values())
         count = report.measurements_run
     return best, signature, count
@@ -305,9 +322,12 @@ def measure_api_overhead(repeats: int, n_relays: int = 120) -> dict:
     def run_direct() -> tuple[float, float]:
         network = synthesize_network(n_relays=n_relays, seed=81)
         authority = quick_team(seed=82)
-        start = time.perf_counter()
-        estimates = _direct_campaign_loop(network, authority)
-        return time.perf_counter() - start, sum(estimates.values())
+        seconds, estimates = _timed(
+            "bench.api_overhead",
+            lambda: _direct_campaign_loop(network, authority),
+            mode="direct",
+        )
+        return seconds, sum(estimates.values())
 
     def run_api() -> tuple[float, float]:
         network = synthesize_network(n_relays=n_relays, seed=81)
@@ -317,9 +337,10 @@ def measure_api_overhead(repeats: int, n_relays: int = 120) -> dict:
                      team=authority),
             ExecutionConfig(),
         )
-        start = time.perf_counter()
-        report = campaign.run()
-        return time.perf_counter() - start, sum(report.estimates.values())
+        seconds, report = _timed(
+            "bench.api_overhead", campaign.run, mode="api"
+        )
+        return seconds, sum(report.estimates.values())
 
     direct_best, api_best = float("inf"), float("inf")
     direct_sig = api_sig = None
@@ -392,9 +413,12 @@ def measure_shadow_flow(repeats: int) -> dict:
         best = float("inf")
         for _ in range(repeats):
             sim = NetworkSimulator(network, seed=24)
-            start = time.perf_counter()
-            metrics = sim.run(weights, backend=backend)
-            best = min(best, time.perf_counter() - start)
+            seconds, metrics = _timed(
+                "bench.shadow_flow",
+                lambda: sim.run(weights, backend=backend),
+                backend=backend,
+            )
+            best = min(best, seconds)
             signatures[backend] = _shadow_signature(metrics)
         rows[backend] = round(best, 4)
         print(f"{'shadow_flow':22s} {backend:11s} {best:8.3f}s  "
@@ -510,10 +534,12 @@ def measure_analytic(repeats: int) -> dict:
                      ("analytic_kernel", analytic_kernel)):
         best = float("inf")
         for _ in range(max(repeats, 2)):
-            start = time.perf_counter()
-            for _ in range(inner):
-                signatures[name] = fn()
-            best = min(best, (time.perf_counter() - start) / inner)
+            def run_inner():
+                for _ in range(inner):
+                    signatures[name] = fn()
+
+            seconds, _ = _timed("bench.analytic_round", run_inner, mode=name)
+            best = min(best, seconds / inner)
         rows[name] = round(best, 5)
         print(f"{'analytic_round':22s} {name:15s} {best * 1e3:8.2f}ms  "
               f"({config['n_jobs']} jobs)")
@@ -532,9 +558,10 @@ def measure_analytic(repeats: int) -> dict:
                 Scenario(network=network, team=authority),
                 ExecutionConfig(backend=backend, full_simulation=False),
             )
-            start = time.perf_counter()
-            report = campaign.run()
-            best = min(best, time.perf_counter() - start)
+            seconds, report = _timed(
+                "bench.analytic_campaign", campaign.run, backend=backend
+            )
+            best = min(best, seconds)
             signature = sum(report.estimates.values())
         return best, signature
 
@@ -600,9 +627,10 @@ def measure_pipeline(repeats: int) -> dict:
                 Scenario(network=network, team=authority),
                 ExecutionConfig(backend=config["backend"], pipeline=pipeline),
             )
-            start = time.perf_counter()
-            report = campaign.run()
-            best = min(best, time.perf_counter() - start)
+            seconds, report = _timed(
+                "bench.pipeline_campaign", campaign.run, pipeline=pipeline
+            )
+            best = min(best, seconds)
             signature = sum(report.estimates.values())
         return best, signature
 
@@ -685,17 +713,25 @@ def measure_scale(repeats: int) -> dict:
     for n in SCALE_NS + (TOR_SCALE_N,):
         materialize = float("inf")
         for _ in range(repeats):
-            start = time.perf_counter()
-            network = synthesize_network(n_relays=n, seed=71)
-            materialize = min(materialize, time.perf_counter() - start)
+            seconds, network = _timed(
+                "bench.scale_materialize",
+                lambda: synthesize_network(n_relays=n, seed=71),
+                n_relays=n,
+            )
+            materialize = min(materialize, seconds)
         authority = quick_team(seed=72)
         engine = MeasurementEngine()
         params, jobs = _scale_round_jobs(network, authority)
         round_s = float("inf")
         for _ in range(repeats):
-            start = time.perf_counter()
-            result = run_analytic_round(engine, jobs, params, backend="vector")
-            round_s = min(round_s, time.perf_counter() - start)
+            seconds, result = _timed(
+                "bench.scale_round",
+                lambda: run_analytic_round(
+                    engine, jobs, params, backend="vector"
+                ),
+                n_relays=n,
+            )
+            round_s = min(round_s, seconds)
         assert len(result.estimates) == n
         row = {
             "materialize_seconds": round(materialize, 4),
@@ -716,11 +752,12 @@ def measure_scale(repeats: int) -> dict:
                 )
                 for i, fp in enumerate(network.relays)
             ]
-            start = time.perf_counter()
-            outcomes = run_specs(engine, specs, backend="vector")
-            row["full_sim_round_seconds"] = round(
-                time.perf_counter() - start, 4
+            seconds, outcomes = _timed(
+                "bench.scale_full_sim_round",
+                lambda: run_specs(engine, specs, backend="vector"),
+                n_relays=n,
             )
+            row["full_sim_round_seconds"] = round(seconds, 4)
             assert len(outcomes) == n
         rows[str(n)] = row
         print(
@@ -744,6 +781,67 @@ def measure_scale(repeats: int) -> dict:
         "repeats": repeats,
         "cpu_count": os.cpu_count(),
         "networks": rows,
+    }
+
+
+#: Stage-breakdown bench config: a whole-network campaign run under a
+#: recording tracer (the same spans ``--trace`` streams to JSONL).
+STAGES_BENCH_CONFIG = dict(n_relays=150, seed=51, backend="vector")
+
+
+def measure_stages(repeats: int) -> dict:
+    """Per-stage wall breakdown of a whole-network campaign.
+
+    Installs a recording tracer for the campaign (exactly what
+    ``ExecutionConfig(trace=...)`` does, minus the JSONL sink) and folds
+    span wall time by name: where a campaign's time actually goes --
+    resolve, pack, compile, execute, settle, fold -- rather than one
+    end-to-end number. The breakdown kept is the fastest repeat's, so
+    stage shares aren't polluted by warmup noise.
+    """
+    config = dict(STAGES_BENCH_CONFIG)
+    best_tracer = None
+    best_wall = float("inf")
+    for _ in range(repeats):
+        network = synthesize_network(
+            n_relays=config["n_relays"], seed=config["seed"]
+        )
+        authority = quick_team(seed=config["seed"] + 1)
+        campaign = Campaign(
+            Scenario(name="bench-stages", network=network, team=authority),
+            ExecutionConfig(backend=config["backend"]),
+        )
+        tracer = Tracer()
+        with use_tracer(tracer):
+            campaign.run()
+        wall = tracer.wall_by_name().get("campaign", float("inf"))
+        if wall < best_wall:
+            best_wall, best_tracer = wall, tracer
+    stages = {
+        name: round(wall, 4)
+        for name, wall in sorted(
+            best_tracer.wall_by_name().items(), key=lambda kv: -kv[1]
+        )
+    }
+    counts: dict[str, int] = {}
+    for span in best_tracer.spans:
+        counts[span.name] = counts.get(span.name, 0) + 1
+    for name, wall in stages.items():
+        print(f"{'stage_breakdown':22s} {name:18s} {wall:8.3f}s  "
+              f"(x{counts[name]})")
+    return {
+        "describe": (
+            "whole-network campaign under a recording tracer: total "
+            "wall seconds per span name (fastest of N runs; child span "
+            "time is also inside its parents' totals)"
+        ),
+        "config": config,
+        "generated_unix": int(time.time()),
+        "repeats": repeats,
+        "cpu_count": os.cpu_count(),
+        "campaign_wall_seconds": round(best_wall, 4),
+        "wall_seconds_by_stage": stages,
+        "span_counts": {name: counts[name] for name in stages},
     }
 
 
@@ -826,6 +924,7 @@ def run_benches(repeats: int) -> dict:
     report["analytic"] = measure_analytic(repeats)
     report["pipeline"] = measure_pipeline(repeats)
     report["scale"] = measure_scale(repeats)
+    report["stage_breakdown"] = measure_stages(repeats)
     return report
 
 
@@ -871,9 +970,15 @@ def main() -> None:
         help="run only the Tor-scale materialization/round bench and "
              "merge its block into the existing output JSON",
     )
+    parser.add_argument(
+        "--stages", action="store_true",
+        help="run only the traced stage-breakdown bench and merge its "
+             "block into the existing output JSON",
+    )
     args = parser.parse_args()
 
-    if args.shadow or args.analytic or args.pipeline or args.scale:
+    if args.shadow or args.analytic or args.pipeline or args.scale \
+            or args.stages:
         # Merge only the requested blocks; the other benches' numbers
         # (and the top-level timestamp describing them) are untouched.
         if args.shadow:
@@ -898,6 +1003,12 @@ def main() -> None:
             biggest = scale["networks"][str(max(SCALE_NS))]
             print(f"  scale: {max(SCALE_NS)} relays materialize in "
                   f"{biggest['materialize_seconds']}s")
+        if args.stages:
+            stages = measure_stages(args.repeats)
+            _merge_block(args.output, "stage_breakdown", stages)
+            print(f"  stage_breakdown: campaign "
+                  f"{stages['campaign_wall_seconds']}s across "
+                  f"{len(stages['wall_seconds_by_stage'])} stages")
         return
 
     report = run_benches(args.repeats)

@@ -17,14 +17,22 @@ import argparse
 import ast
 import json
 import sys
+from contextlib import nullcontext
 
 from repro.api import (
+    Campaign,
     ExecutionConfig,
     ProgressObserver,
     default_execution_for,
-    run_scenario,
-    scenario_names,
+    get_scenario,
     scenario_registry,
+)
+from repro.obs import (
+    Tracer,
+    get_registry,
+    maybe_profile,
+    render_summary,
+    use_tracer,
 )
 
 
@@ -66,6 +74,17 @@ def main(argv: list[str] | None = None) -> int:
                              "compare_load_balancing) consult it -- the "
                              "measurement-only registry scenarios ignore it")
     parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a flashflow-trace/1 JSONL trace of "
+                             "the run (manifest, campaign/round/kernel "
+                             "spans, metrics snapshot) to PATH")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the span/metrics summary table to "
+                             "stderr after the run (implies recording; "
+                             "with --trace the same tracer feeds both)")
+    parser.add_argument("--profile", default=None, metavar="PATH",
+                        help="cProfile the run into PATH (pstats; a "
+                             "sibling PATH.txt carries the top rows)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-round progress lines")
     parser.add_argument("-o", "--override", action="append", default=[],
@@ -87,15 +106,28 @@ def main(argv: list[str] | None = None) -> int:
         max_rounds=base.max_rounds,
         analytic_error_std=base.analytic_error_std,
         pipeline=args.pipeline,
+        trace=args.trace,
     )
     observers = () if args.quiet else (ProgressObserver(stream=sys.stderr),)
-    report = run_scenario(
-        args.scenario,
-        execution=execution,
-        observers=observers,
-        **dict(args.override),
+    campaign = Campaign(
+        get_scenario(args.scenario, **dict(args.override)), execution
     )
+    # --metrics without --trace records in memory only: install an
+    # ambient tracer for the run (with --trace the campaign's own JSONL
+    # tracer records, and the summary renders from it afterwards).
+    ambient = (
+        use_tracer(Tracer())
+        if args.metrics and not args.trace
+        else nullcontext()
+    )
+    with maybe_profile(args.profile), ambient:
+        report = campaign.run(observers=observers)
     print(json.dumps(report.to_dict(), indent=2))
+    if args.metrics:
+        print(render_summary(campaign.tracer, get_registry()),
+              file=sys.stderr)
+    if args.trace:
+        print(f"trace written to {args.trace}", file=sys.stderr)
     return 0
 
 

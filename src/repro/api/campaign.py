@@ -67,6 +67,14 @@ from repro.core.netmeasure import (
     normalize_background_demand,
 )
 from repro.kernel.analytic import run_analytic_round
+from repro.obs import (
+    JsonlTraceWriter,
+    Tracer,
+    get_registry,
+    get_tracer,
+    run_manifest,
+    use_tracer,
+)
 from repro.rng import fork
 from repro.tornet.network import TorNetwork
 from repro.tornet.relay import Relay
@@ -142,168 +150,205 @@ def run_period_rounds(
     slot_index = 0
     round_index = 0
     while queue:
-        # --- Pack the whole waiting queue into consecutive slots ------
-        # Every queued relay is independent of the others' outcomes, so
-        # a round's slots can all be planned up front and run
-        # concurrently.
-        first_slot = slot_index
-        jobs: list[_Job] = []
-        waiting = queue
-        while waiting:
-            residual = team_capacity
-            this_slot: list[tuple[str, float, int]] = []
-            deferred: deque[tuple[str, float, int]] = deque()
-            while waiting:
-                fp, z0, rounds = waiting.popleft()
-                if required_for(z0) <= residual + 1e-6:
-                    this_slot.append((fp, z0, rounds))
-                    residual -= required_for(z0)
-                else:
-                    deferred.append((fp, z0, rounds))
-            if not this_slot:
-                # Should be unreachable: required is capped at team capacity.
-                this_slot.append(deferred.popleft())
+        tracer = get_tracer()
+        with tracer.span(
+            "round", period_index=period_index, round_index=round_index
+        ) as round_span:
+            # --- Pack the whole waiting queue into consecutive slots --
+            # Every queued relay is independent of the others' outcomes,
+            # so a round's slots can all be planned up front and run
+            # concurrently.
+            with tracer.span("round.pack"):
+                first_slot = slot_index
+                jobs: list[_Job] = []
+                waiting = queue
+                while waiting:
+                    residual = team_capacity
+                    this_slot: list[tuple[str, float, int]] = []
+                    deferred: deque[tuple[str, float, int]] = deque()
+                    while waiting:
+                        fp, z0, rounds = waiting.popleft()
+                        if required_for(z0) <= residual + 1e-6:
+                            this_slot.append((fp, z0, rounds))
+                            residual -= required_for(z0)
+                        else:
+                            deferred.append((fp, z0, rounds))
+                    if not this_slot:
+                        # Should be unreachable: required is capped at
+                        # team capacity.
+                        this_slot.append(deferred.popleft())
 
-            for fp, z0, rounds in this_slot:
-                required = required_for(z0)
-                jobs.append(
-                    _Job(
-                        fingerprint=fp,
-                        z0=z0,
-                        rounds=rounds,
-                        slot_index=slot_index,
-                        relay=network[fp],
-                        capped=required < params.allocation_factor * z0,
-                        assignments=allocate_capacity(team, required),
-                        background=background_for(fp),
-                        wobble=(
-                            None
-                            if execution.full_simulation
-                            else max(
-                                0.8,
-                                rng.gauss(1.0, execution.analytic_error_std),
+                    for fp, z0, rounds in this_slot:
+                        required = required_for(z0)
+                        jobs.append(
+                            _Job(
+                                fingerprint=fp,
+                                z0=z0,
+                                rounds=rounds,
+                                slot_index=slot_index,
+                                relay=network[fp],
+                                capped=(
+                                    required
+                                    < params.allocation_factor * z0
+                                ),
+                                assignments=allocate_capacity(
+                                    team, required
+                                ),
+                                background=background_for(fp),
+                                wobble=(
+                                    None
+                                    if execution.full_simulation
+                                    else max(
+                                        0.8,
+                                        rng.gauss(
+                                            1.0,
+                                            execution.analytic_error_std,
+                                        ),
+                                    )
+                                ),
                             )
-                        ),
-                    )
-                )
-            slot_index += 1
-            waiting = deferred
+                        )
+                    slot_index += 1
+                    waiting = deferred
 
-        yield RoundPlanned(
-            period_index=period_index,
-            round_index=round_index,
-            n_jobs=len(jobs),
-            first_slot=first_slot,
-            slots_packed=slot_index - first_slot,
-        )
-
-        # --- Execute the round ----------------------------------------
-        started = time.perf_counter()
-        accepted: list[bool] | None = None
-        if execution.full_simulation:
-            specs = [
-                MeasurementSpec(
-                    target=job.relay,
-                    assignments=job.assignments,
-                    params=params,
-                    network=authority.network,
-                    background_demand=job.background,
-                    seed=authority.seed + job.slot_index * 7919 + job.rounds,
-                    bwauth_id=authority.name,
-                    period_index=0,
-                    enforce_admission=False,
-                    noise=noise,
-                )
-                for job in jobs
-            ]
-            outcomes = engine.run_many(
-                specs,
-                max_workers=execution.max_workers,
-                backend=execution.backend,
-                pipeline=execution.pipeline,
-                shards=execution.shards,
+            round_span.set(
+                n_jobs=len(jobs), slots_packed=slot_index - first_slot
             )
-            results = [
-                (o.estimate, o.failed, o.failure_reason, o.cells_checked)
-                for o in outcomes
-            ]
-        else:
-            # The analytic kernel walks the whole round as one array op
-            # (estimates + accept decisions); ``serial`` keeps the
-            # historical scalar analytic_estimate loop and leaves the
-            # decisions to the fold below. Bit-identical either way.
-            analytic = run_analytic_round(
-                engine, jobs, params,
-                backend=execution.backend,
-                shards=execution.shards,
-            )
-            results = [(z, False, None, 0) for z in analytic.estimates]
-            accepted = analytic.accepted
-
-        # --- Fold outcomes back in deterministic slot order -----------
-        record = RoundRecord(
-            period_index=period_index,
-            round_index=round_index,
-            first_slot=first_slot,
-            slots_packed=slot_index - first_slot,
-        )
-        retries: deque[tuple[str, float, int]] = deque()
-        for i, (job, (z, failed, reason, cells_checked)) in enumerate(
-            zip(jobs, results)
-        ):
-            result.measurements_run += 1
-            measurement = MeasurementRecord(
+            yield RoundPlanned(
                 period_index=period_index,
                 round_index=round_index,
-                slot_index=job.slot_index,
-                fingerprint=job.fingerprint,
-                attempt=job.rounds,
-                planned_estimate=job.z0,
-                estimate=z,
-                failed=failed,
-                failure_reason=reason,
-                cells_checked=cells_checked,
-                settled=execution.full_simulation and not failed,
+                n_jobs=len(jobs),
+                first_slot=first_slot,
+                slots_packed=slot_index - first_slot,
             )
-            record.measurements.append(measurement)
-            if failed:
-                result.failures[job.fingerprint] = reason or "measurement failed"
-                continue
-            if accepted is not None:
-                # Pre-computed by the analytic kernel's array walk --
-                # bit-identical to the scalar recomputation below.
-                accept = accepted[i]
-            else:
-                threshold = params.acceptance_threshold(
-                    total_allocated(job.assignments)
+
+            # --- Execute the round ------------------------------------
+            started = time.perf_counter()
+            accepted: list[bool] | None = None
+            if execution.full_simulation:
+                specs = [
+                    MeasurementSpec(
+                        target=job.relay,
+                        assignments=job.assignments,
+                        params=params,
+                        network=authority.network,
+                        background_demand=job.background,
+                        seed=authority.seed
+                        + job.slot_index * 7919
+                        + job.rounds,
+                        bwauth_id=authority.name,
+                        period_index=0,
+                        enforce_admission=False,
+                        noise=noise,
+                    )
+                    for job in jobs
+                ]
+                outcomes = engine.run_many(
+                    specs,
+                    max_workers=execution.max_workers,
+                    backend=execution.backend,
+                    pipeline=execution.pipeline,
+                    shards=execution.shards,
                 )
-                accept = z < threshold or job.capped
-            if accept:
-                result.estimates[job.fingerprint] = z
-                authority.estimates[job.fingerprint] = z
-                measurement.accepted = True
-            elif job.rounds + 1 >= execution.max_rounds:
-                # ``job.rounds`` counts *prior* attempts, so this
-                # measurement was attempt ``job.rounds + 1``: a relay
-                # that never converges is attempted exactly
-                # ``execution.max_rounds`` times before giving up
-                # (pinned by tests/api/test_max_rounds.py).
-                result.failures[job.fingerprint] = "did not converge"
-                measurement.failed = True
-                measurement.failure_reason = "did not converge"
+                results = [
+                    (o.estimate, o.failed, o.failure_reason, o.cells_checked)
+                    for o in outcomes
+                ]
             else:
-                retries.append(
-                    (job.fingerprint, max(z, 2.0 * job.z0), job.rounds + 1)
+                # The analytic kernel walks the whole round as one array
+                # op (estimates + accept decisions); ``serial`` keeps the
+                # historical scalar analytic_estimate loop and leaves the
+                # decisions to the fold below. Bit-identical either way.
+                analytic = run_analytic_round(
+                    engine, jobs, params,
+                    backend=execution.backend,
+                    shards=execution.shards,
                 )
-                measurement.retried = True
-        record.wall_seconds = time.perf_counter() - started
-        if rounds_out is not None:
-            rounds_out.append(record)
-        yield RoundCompleted(
-            period_index=period_index,
-            round_index=round_index,
-            record=record,
-        )
+                results = [(z, False, None, 0) for z in analytic.estimates]
+                accepted = analytic.accepted
+
+            # --- Fold outcomes back in deterministic slot order -------
+            with tracer.span("round.fold"):
+                record = RoundRecord(
+                    period_index=period_index,
+                    round_index=round_index,
+                    first_slot=first_slot,
+                    slots_packed=slot_index - first_slot,
+                )
+                retries: deque[tuple[str, float, int]] = deque()
+                for i, (job, (z, failed, reason, cells_checked)) in enumerate(
+                    zip(jobs, results)
+                ):
+                    result.measurements_run += 1
+                    measurement = MeasurementRecord(
+                        period_index=period_index,
+                        round_index=round_index,
+                        slot_index=job.slot_index,
+                        fingerprint=job.fingerprint,
+                        attempt=job.rounds,
+                        planned_estimate=job.z0,
+                        estimate=z,
+                        failed=failed,
+                        failure_reason=reason,
+                        cells_checked=cells_checked,
+                        settled=execution.full_simulation and not failed,
+                    )
+                    record.measurements.append(measurement)
+                    if failed:
+                        result.failures[job.fingerprint] = (
+                            reason or "measurement failed"
+                        )
+                        continue
+                    if accepted is not None:
+                        # Pre-computed by the analytic kernel's array
+                        # walk -- bit-identical to the scalar
+                        # recomputation below.
+                        accept = accepted[i]
+                    else:
+                        threshold = params.acceptance_threshold(
+                            total_allocated(job.assignments)
+                        )
+                        accept = z < threshold or job.capped
+                    if accept:
+                        result.estimates[job.fingerprint] = z
+                        authority.estimates[job.fingerprint] = z
+                        measurement.accepted = True
+                    elif job.rounds + 1 >= execution.max_rounds:
+                        # ``job.rounds`` counts *prior* attempts, so this
+                        # measurement was attempt ``job.rounds + 1``: a
+                        # relay that never converges is attempted exactly
+                        # ``execution.max_rounds`` times before giving up
+                        # (pinned by tests/api/test_max_rounds.py).
+                        result.failures[job.fingerprint] = "did not converge"
+                        measurement.failed = True
+                        measurement.failure_reason = "did not converge"
+                    else:
+                        retries.append(
+                            (
+                                job.fingerprint,
+                                max(z, 2.0 * job.z0),
+                                job.rounds + 1,
+                            )
+                        )
+                        measurement.retried = True
+            record.wall_seconds = time.perf_counter() - started
+
+            registry = get_registry()
+            registry.counter("campaign.rounds").inc()
+            registry.counter("campaign.measurements").inc(
+                len(record.measurements)
+            )
+            registry.counter("campaign.accepted").inc(record.n_accepted)
+            registry.counter("campaign.retried").inc(record.n_retried)
+            registry.counter("campaign.failed").inc(record.n_failed)
+
+            if rounds_out is not None:
+                rounds_out.append(record)
+            yield RoundCompleted(
+                period_index=period_index,
+                round_index=round_index,
+                record=record,
+            )
         queue = retries
         round_index += 1
 
@@ -336,18 +381,79 @@ class Campaign:
         self.report: CampaignReport | None = None
         #: The most recent run's resolved scenario (live objects).
         self.resolved: ResolvedScenario | None = None
+        #: The tracer the most recent run recorded into: the JSONL
+        #: tracer when ``execution.trace`` is set, else whatever was
+        #: ambient (normally the null tracer). CLIs use this to render
+        #: the post-run summary table.
+        self.tracer = None
 
     def iter_rounds(self) -> Iterator[CampaignEvent]:
         """Stream the campaign: resolve, run every period, yield events.
 
         The final event is :class:`CampaignCompleted` carrying the
         report; afterwards ``self.report`` is set.
+
+        When ``execution.trace`` is set, a recording tracer streams
+        ``campaign > period > round`` spans to that JSONL file and is
+        finalized (metrics snapshot + end record) when the generator
+        finishes or is closed. Otherwise the ambient tracer -- normally
+        the no-op null tracer -- is used as-is, so untraced runs pay
+        nothing and benches can install their own recording tracer.
         """
+        execution = self.execution
+        if execution.trace is None:
+            self.tracer = get_tracer()
+            yield from self._iter_rounds(self.tracer)
+            return
+        scenario = self.scenario
+        manifest = run_manifest(
+            scenario_name=scenario.name,
+            seed=scenario.seed,
+            backend=execution.backend,
+            shadow_backend=execution.shadow_backend,
+            shards=execution.shards,
+            pipeline=execution.pipeline,
+            full_simulation=execution.full_simulation,
+            periods=scenario.periods,
+            max_rounds=execution.max_rounds,
+        )
+        tracer = Tracer(sink=JsonlTraceWriter(execution.trace, manifest))
+        self.tracer = tracer
+        try:
+            with use_tracer(tracer):
+                yield from self._iter_rounds(tracer)
+        finally:
+            # Runs on normal completion AND on generator close/abandon,
+            # so a killed run still gets its metrics + end records.
+            tracer.finish(registry=get_registry())
+
+    def _iter_rounds(self, tracer: Tracer) -> Iterator[CampaignEvent]:
         scenario, execution = self.scenario, self.execution
-        resolved = scenario.resolve()
+        campaign_span = tracer.span(
+            "campaign",
+            scenario=scenario.name,
+            backend=execution.backend,
+            periods=scenario.periods,
+            full_simulation=execution.full_simulation,
+        )
+        with campaign_span:
+            with tracer.span("campaign.resolve"):
+                resolved = scenario.resolve()
+            yield from self._run_resolved(resolved, campaign_span, tracer)
+
+    def _run_resolved(
+        self,
+        resolved: ResolvedScenario,
+        campaign_span,
+        tracer: Tracer,
+    ) -> Iterator[CampaignEvent]:
+        scenario, execution = self.scenario, self.execution
         self.resolved = resolved
         self.report = None
         network, authority = resolved.network, resolved.authority
+        campaign_span.set(
+            n_relays=len(network), n_measurers=len(authority.team)
+        )
         started = time.perf_counter()
 
         yield CampaignStarted(
@@ -370,17 +476,18 @@ class Campaign:
                 n_relays=len(network),
                 n_priors=len(resolved.priors),
             )
-            result = yield from run_period_rounds(
-                network,
-                authority,
-                resolved.priors,
-                resolved.background,
-                execution,
-                noise=resolved.noise,
-                engine=self.engine,
-                period_index=0,
-                rounds_out=rounds,
-            )
+            with tracer.span("period", period_index=0):
+                result = yield from run_period_rounds(
+                    network,
+                    authority,
+                    resolved.priors,
+                    resolved.background,
+                    execution,
+                    noise=resolved.noise,
+                    engine=self.engine,
+                    period_index=0,
+                    rounds_out=rounds,
+                )
             yield PeriodCompleted(period_index=0, result=result)
         else:
             # The deployment owns prior carryover and estimate aging;
@@ -398,17 +505,18 @@ class Campaign:
                     n_relays=len(network),
                     n_priors=len(priors),
                 )
-                result = yield from run_period_rounds(
-                    network,
-                    authority,
-                    priors,
-                    resolved.background,
-                    execution,
-                    noise=resolved.noise,
-                    engine=self.engine,
-                    period_index=period_index,
-                    rounds_out=rounds,
-                )
+                with tracer.span("period", period_index=period_index):
+                    result = yield from run_period_rounds(
+                        network,
+                        authority,
+                        priors,
+                        resolved.background,
+                        execution,
+                        noise=resolved.noise,
+                        engine=self.engine,
+                        period_index=period_index,
+                        rounds_out=rounds,
+                    )
                 period_results.append(result)
                 deployment_record = deployment.record_period(result)
                 deployment_records.append(deployment_record)

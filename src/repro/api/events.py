@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import TextIO
 
 from repro.api.report import RoundRecord
+from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass
@@ -167,53 +168,84 @@ class RoundMetrics:
 
 
 class MetricsObserver(CampaignObserver):
-    """Collects per-round aggregates for later analysis."""
+    """Collects per-round aggregates for later analysis.
+
+    Built on a private :class:`repro.obs.MetricsRegistry` (one per
+    observer, so campaigns never mix): each round increments the
+    ``rounds``/``measurements``/``accepted``/``retried``/``failed``/
+    ``slots``/``cells_checked`` counters and observes the round wall
+    time, and :meth:`summary` reads them back. The per-round
+    :class:`RoundMetrics` list is kept alongside, unchanged.
+    """
 
     def __init__(self):
         self.rounds: list[RoundMetrics] = []
+        self.registry = MetricsRegistry()
 
     def on_round_completed(self, event: RoundCompleted) -> None:
         record = event.record
-        self.rounds.append(
-            RoundMetrics(
-                period_index=event.period_index,
-                round_index=event.round_index,
-                n_measurements=len(record.measurements),
-                n_accepted=record.n_accepted,
-                n_retried=record.n_retried,
-                n_failed=record.n_failed,
-                slots_packed=record.slots_packed,
-                cells_checked=record.cells_checked,
-                wall_seconds=record.wall_seconds,
-            )
+        metrics = RoundMetrics(
+            period_index=event.period_index,
+            round_index=event.round_index,
+            n_measurements=len(record.measurements),
+            n_accepted=record.n_accepted,
+            n_retried=record.n_retried,
+            n_failed=record.n_failed,
+            slots_packed=record.slots_packed,
+            cells_checked=record.cells_checked,
+            wall_seconds=record.wall_seconds,
+        )
+        self.rounds.append(metrics)
+        registry = self.registry
+        registry.counter("rounds").inc()
+        registry.counter("measurements").inc(metrics.n_measurements)
+        registry.counter("accepted").inc(metrics.n_accepted)
+        registry.counter("retried").inc(metrics.n_retried)
+        registry.counter("failed").inc(metrics.n_failed)
+        registry.counter("slots").inc(metrics.slots_packed)
+        registry.counter("cells_checked").inc(metrics.cells_checked)
+        registry.histogram("round.wall_seconds").observe(
+            metrics.wall_seconds
         )
 
     def summary(self) -> dict[str, float]:
+        registry = self.registry
         return {
-            "rounds": len(self.rounds),
-            "measurements": sum(m.n_measurements for m in self.rounds),
-            "accepted": sum(m.n_accepted for m in self.rounds),
-            "retried": sum(m.n_retried for m in self.rounds),
-            "failed": sum(m.n_failed for m in self.rounds),
-            "slots": sum(m.slots_packed for m in self.rounds),
-            "cells_checked": sum(m.cells_checked for m in self.rounds),
-            "wall_seconds": sum(m.wall_seconds for m in self.rounds),
+            "rounds": registry.counter("rounds").value,
+            "measurements": registry.counter("measurements").value,
+            "accepted": registry.counter("accepted").value,
+            "retried": registry.counter("retried").value,
+            "failed": registry.counter("failed").value,
+            "slots": registry.counter("slots").value,
+            "cells_checked": registry.counter("cells_checked").value,
+            "wall_seconds": registry.histogram("round.wall_seconds").total,
         }
 
 
 class TimingObserver(CampaignObserver):
-    """Wall-clock timing per round and for the whole campaign."""
+    """Wall-clock timing per round and for the whole campaign.
+
+    Round wall times live in a private registry histogram
+    (``round.wall_seconds``); ``round_seconds`` exposes the histogram's
+    retained samples as the historical list API.
+    """
 
     def __init__(self):
-        self.round_seconds: list[float] = []
+        self.registry = MetricsRegistry()
         self.total_seconds: float = 0.0
         self._started: float | None = None
+
+    @property
+    def round_seconds(self) -> list[float]:
+        return list(self.registry.histogram("round.wall_seconds").samples)
 
     def on_campaign_started(self, event: CampaignStarted) -> None:
         self._started = time.perf_counter()
 
     def on_round_completed(self, event: RoundCompleted) -> None:
-        self.round_seconds.append(event.record.wall_seconds)
+        self.registry.histogram("round.wall_seconds").observe(
+            event.record.wall_seconds
+        )
 
     def on_campaign_completed(self, event: CampaignCompleted) -> None:
         if self._started is not None:

@@ -16,6 +16,7 @@ to :class:`repro.core.engine.MeasurementEngine` and
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, replace
 
 from repro.errors import ConfigurationError
@@ -76,6 +77,15 @@ class ExecutionConfig:
     #: default) leaves chunking to the backend; sharding prescribes the
     #: chunk boundaries, so ``pipeline`` is ignored when set.
     shards: int | None = None
+    #: Path for a ``flashflow-trace/1`` JSONL trace of the run
+    #: (:mod:`repro.obs`): manifest line, hierarchical campaign/round/
+    #: kernel spans with wall+CPU time, and a metrics snapshot, written
+    #: incrementally. ``None`` (the default) keeps the ambient tracer
+    #: (normally the no-op null tracer -- the zero-overhead path).
+    #: Tracing is semantics-preserving: spans read clocks, never RNGs,
+    #: so a traced run's events and estimates are bit-identical to an
+    #: untraced one.
+    trace: str | None = None
 
     def __post_init__(self) -> None:
         if self.backend is not None:
@@ -119,6 +129,12 @@ class ExecutionConfig:
                 raise ConfigurationError("shards must be an integer or None")
             if self.shards < 1:
                 raise ConfigurationError("shards must be >= 1 or None")
+        if self.trace is not None and not isinstance(
+            self.trace, (str, os.PathLike)
+        ):
+            raise ConfigurationError(
+                "trace must be a path for the JSONL trace file or None"
+            )
 
     def with_backend(self, backend: str | None) -> "ExecutionConfig":
         """A copy of this config on a different kernel backend."""

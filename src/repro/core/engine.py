@@ -632,7 +632,16 @@ CompiledMeasurement` objects and executed by a kernel backend
             max_workers = default_worker_count()
         distinct_targets = len({id(s.target) for s in specs})
         if len(specs) <= 1 or distinct_targets < len(specs):
-            return [self.run(spec) for spec in specs]
+            from repro.obs.metrics import get_registry
+            from repro.obs.trace import get_tracer
+
+            # Whole-round stateful fallback (shared targets draw RNG in
+            # slot order): counted so campaigns that silently lose
+            # vectorization show up in metrics output.
+            if len(specs) > 1:
+                get_registry().counter("engine.stateful_rounds").inc()
+            with get_tracer().span("round.stateful", n_specs=len(specs)):
+                return [self.run(spec) for spec in specs]
         from repro.kernel import run_specs
 
         return run_specs(

@@ -55,6 +55,8 @@ from repro.kernel.compile import (
     is_compilable,
 )
 from repro.kernel.supply import KernelResult, execute_batch, execute_compiled
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 
 __all__ = [
     "BACKEND_ENV_VAR",
@@ -170,6 +172,8 @@ def run_specs(
         first_params.kernel_backend if first_params is not None else None,
     )
     backend_obj = get_backend(name)
+    tracer = get_tracer()
+    registry = get_registry()
 
     results = [None] * len(specs)
     fallback_indices: list[int] = []
@@ -187,45 +191,78 @@ def run_specs(
     )
     if stream is not None:
         try:
+            # Pipelined: the compile span covers the feed loop, so its
+            # wall time includes the stream.add submissions that overlap
+            # with worker execution (drain time shows up separately).
+            with tracer.span(
+                "round.compile",
+                backend=name, n_specs=len(specs), pipeline=True,
+            ):
+                for index, spec in enumerate(specs):
+                    cm = compile_measurement(
+                        engine, spec, index=index,
+                        predrawn_noise=predrawn.get(index),
+                    )
+                    if cm is None:
+                        fallback_indices.append(index)
+                    else:
+                        stream.add(cm)
+            # Stateful fallbacks run here while workers drain the tail.
+            if fallback_indices:
+                with tracer.span(
+                    "round.fallback", n_specs=len(fallback_indices)
+                ):
+                    for index in fallback_indices:
+                        results[index] = engine.run(specs[index])
+        except BaseException:
+            stream.close()
+            raise
+        with tracer.span("round.drain", backend=name):
+            kernel_results = stream.finish()
+    else:
+        compiled: list[CompiledMeasurement] = []
+        with tracer.span(
+            "round.compile", backend=name, n_specs=len(specs)
+        ):
             for index, spec in enumerate(specs):
                 cm = compile_measurement(
                     engine, spec, index=index,
-                    predrawn_noise=predrawn.get(index),
+                    predrawn_noise=predrawn.get(index)
                 )
                 if cm is None:
                     fallback_indices.append(index)
                 else:
-                    stream.add(cm)
-            # Stateful fallbacks run here while workers drain the tail.
-            for index in fallback_indices:
-                results[index] = engine.run(specs[index])
-        except BaseException:
-            stream.close()
-            raise
-        kernel_results = stream.finish()
-    else:
-        compiled: list[CompiledMeasurement] = []
-        for index, spec in enumerate(specs):
-            cm = compile_measurement(
-                engine, spec, index=index, predrawn_noise=predrawn.get(index)
+                    compiled.append(cm)
+        if fallback_indices:
+            with tracer.span(
+                "round.fallback", n_specs=len(fallback_indices)
+            ):
+                for index in fallback_indices:
+                    results[index] = engine.run(specs[index])
+        with tracer.span(
+            "round.execute",
+            backend=name, n_compiled=len(compiled), shards=shards,
+        ):
+            kernel_results = (
+                backend_obj.run(
+                    compiled, max_workers=max_workers, shards=shards
+                )
+                if compiled
+                else []
             )
-            if cm is None:
-                fallback_indices.append(index)
-            else:
-                compiled.append(cm)
-        for index in fallback_indices:
-            results[index] = engine.run(specs[index])
-        kernel_results = (
-            backend_obj.run(compiled, max_workers=max_workers, shards=shards)
-            if compiled
-            else []
-        )
 
-    for result in kernel_results:
-        spec = specs[result.index]
-        if result.total_bytes.size:
-            spec.target.settle_measured_walk(
-                result.total_bytes.tolist(), result.final_bucket_tokens
-            )
-        results[result.index] = result.to_outcome()
+    registry.counter("kernel.specs.compiled").inc(
+        len(specs) - len(fallback_indices)
+    )
+    if fallback_indices:
+        registry.counter("kernel.specs.fallback").inc(len(fallback_indices))
+
+    with tracer.span("round.settle", n_results=len(kernel_results)):
+        for result in kernel_results:
+            spec = specs[result.index]
+            if result.total_bytes.size:
+                spec.target.settle_measured_walk(
+                    result.total_bytes.tolist(), result.final_bucket_tokens
+                )
+            results[result.index] = result.to_outcome()
     return results

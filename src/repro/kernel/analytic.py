@@ -51,6 +51,7 @@ import numpy as np
 from repro.core.engine import MeasurementEngine
 from repro.core.params import FlashFlowParams
 from repro.kernel.backends import _shard_parts, resolve_backend_name
+from repro.obs.trace import get_tracer
 
 _ALLOCATED = attrgetter("allocated")
 _WOBBLE = attrgetter("wobble")
@@ -210,24 +211,31 @@ def run_analytic_round(
     """
     params = params or engine.params or FlashFlowParams()
     name = resolve_backend_name(backend, params.kernel_backend)
+    tracer = get_tracer()
     if name == "serial":
-        return AnalyticRoundResult(
-            estimates=[
-                engine.analytic_estimate(
-                    job.relay, job.assignments, params, job.wobble
-                )
-                for job in jobs
+        with tracer.span(
+            "round.analytic", backend=name, n_jobs=len(jobs)
+        ):
+            return AnalyticRoundResult(
+                estimates=[
+                    engine.analytic_estimate(
+                        job.relay, job.assignments, params, job.wobble
+                    )
+                    for job in jobs
+                ]
+            )
+    with tracer.span(
+        "round.analytic", backend=name, n_jobs=len(jobs), shards=shards
+    ):
+        if shards is not None and shards > 1 and len(jobs) > 1:
+            parts = _shard_parts(list(jobs), shards)
+            results = [
+                execute_analytic_round(compile_analytic_round(part, params))
+                for part in parts
             ]
-        )
-    if shards is not None and shards > 1 and len(jobs) > 1:
-        parts = _shard_parts(list(jobs), shards)
-        results = [
-            execute_analytic_round(compile_analytic_round(part, params))
-            for part in parts
-        ]
-        return AnalyticRoundResult(
-            estimates=[z for r in results for z in r.estimates],
-            thresholds=[t for r in results for t in r.thresholds],
-            accepted=[a for r in results for a in r.accepted],
-        )
-    return execute_analytic_round(compile_analytic_round(jobs, params))
+            return AnalyticRoundResult(
+                estimates=[z for r in results for z in r.estimates],
+                thresholds=[t for r in results for t in r.thresholds],
+                accepted=[a for r in results for a in r.accepted],
+            )
+        return execute_analytic_round(compile_analytic_round(jobs, params))

@@ -43,6 +43,8 @@ from repro.kernel.shm import (
     unpack_chunk,
 )
 from repro.kernel.supply import KernelResult, execute_batch, execute_compiled
+from repro.obs.metrics import get_registry, warn_once
+from repro.obs.trace import get_tracer
 from repro.workers import default_worker_count, workers_from_env
 
 #: Environment variable consulted when params leave the backend unset.
@@ -51,6 +53,39 @@ BACKEND_ENV_VAR = "FLASHFLOW_KERNEL_BACKEND"
 #: Fewest measurements worth batching into one chunk: below this the
 #: per-chunk dispatch/pickle overhead outweighs the vectorization win.
 MIN_CHUNK = 8
+
+
+def _note_pool_rebuild() -> None:
+    """Count a broken-pool rebuild and surface it once per process.
+
+    Pool rebuilds were historically invisible (the retry succeeds and
+    the round completes normally); the counter and one-shot warning make
+    the degradation -- a worker died, lost chunks re-executed -- show up
+    in metrics output and on stderr.
+    """
+    get_registry().counter("kernel.pool.rebuilds").inc()
+    warn_once(
+        "pool-rebuild",
+        "a kernel worker process died mid-round; the pool was rebuilt "
+        "and the lost chunks re-executed (results are unaffected -- "
+        "compiled measurements are pure)",
+    )
+
+
+def _traced_chunk(tracer, chunk, parent_id):
+    """Execute one chunk under a worker-side span (thread pools only).
+
+    Worker threads share the campaign's tracer but have empty span
+    stacks, so the dispatcher captures its current span id and the
+    chunk parents explicitly.
+    """
+    with tracer.span(
+        "kernel.chunk",
+        parent_id=parent_id,
+        n_compiled=len(chunk),
+        transport="inline",
+    ):
+        return execute_batch(chunk)
 
 
 def _chunk_target(n: int, workers: int) -> int:
@@ -182,13 +217,23 @@ class KernelStream:
         if self._shm:
             payload, handle = pack_chunk(chunk)
             if payload is None:
+                # pack_chunk already counted and warned; remember the
+                # degradation so later chunks skip the doomed pack.
                 self._shm = False
         self._pending.append((chunk, payload, handle, self._submit(chunk, payload)))
+        registry = get_registry()
+        registry.counter("kernel.stream.chunks").inc()
+        registry.gauge("kernel.stream.in_flight").set(len(self._pending))
 
     def _harvest_oldest(self) -> None:
         chunk, payload, handle, future = self._pending.popleft()
         try:
-            out = future.result()
+            with get_tracer().span(
+                "kernel.chunk",
+                n_compiled=len(chunk),
+                transport="shm" if handle is not None else "pickle",
+            ):
+                out = future.result()
         except BrokenProcessPool:
             if self._rebuild is None or self._rebuilt:
                 # Second failure (or a pool that cannot be rebuilt): a
@@ -202,6 +247,7 @@ class KernelStream:
             # in order -- the batch path's single-retry contract.  Shm
             # blocks are only unlinked after harvest, so the packed
             # payloads stay valid for resubmission.
+            _note_pool_rebuild()
             self._rebuilt = True
             lost = [(chunk, payload, handle)] + [
                 entry[:3] for entry in self._pending
@@ -307,10 +353,20 @@ class ThreadBackend(KernelBackend):
         workers = max_workers or default_worker_count()
         if workers <= 1 or len(compiled) <= 1:
             return execute_batch(compiled)
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            chunk_results = pool.map(
-                execute_batch, _partition(compiled, workers, shards)
+        tracer = get_tracer()
+        parts = _partition(compiled, workers, shards)
+        if tracer.enabled:
+            # Chunk spans run *in* the worker threads (they share the
+            # process-global tracer) and parent to the dispatcher's
+            # current span explicitly.
+            parent_id = tracer.current_span_id()
+            run_chunk = (
+                lambda chunk: _traced_chunk(tracer, chunk, parent_id)
             )
+        else:
+            run_chunk = execute_batch
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            chunk_results = pool.map(run_chunk, parts)
         return [result for chunk in chunk_results for result in chunk]
 
     def open_stream(self, n_specs, max_workers=None):
@@ -392,6 +448,7 @@ class ProcessBackend(KernelBackend):
             # A worker died (OOM kill, signal). The executor is
             # permanently broken; rebuild it once and retry -- compiled
             # measurements are pure, so re-execution is safe.
+            _note_pool_rebuild()
             self.shutdown()
             chunk_results = list(
                 self._get_pool(workers).map(execute_batch, chunks)
@@ -406,6 +463,7 @@ class ProcessBackend(KernelBackend):
         unchanged (the single-retry contract of the pickling path).
         """
         pool = self._get_pool(workers)
+        tracer = get_tracer()
         futures = [pool.submit(execute_batch_shm, payload) for payload, _ in packed]
         results: list[KernelResult] = []
         retried = False
@@ -413,11 +471,19 @@ class ProcessBackend(KernelBackend):
         try:
             while index < len(packed):
                 try:
-                    light = futures[index].result()
+                    # Parent-side chunk span (worker processes see the
+                    # null tracer): submit-to-harvest wall time.
+                    with tracer.span(
+                        "kernel.chunk",
+                        n_compiled=len(packed[index][1].layout),
+                        transport="shm",
+                    ):
+                        light = futures[index].result()
                 except BrokenProcessPool:
                     if retried:
                         raise
                     retried = True
+                    _note_pool_rebuild()
                     self.shutdown()
                     pool = self._get_pool(workers)
                     for j in range(index, len(packed)):

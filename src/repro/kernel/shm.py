@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.kernel.supply import KernelResult, execute_batch
+from repro.obs.metrics import get_registry, warn_once
 
 try:  # pragma: no cover - stdlib, but gate anyway for exotic builds
     from multiprocessing import shared_memory
@@ -120,7 +121,19 @@ def pack_chunk(chunk) -> tuple[tuple | None, ShmChunk | None]:
     try:
         block = shared_memory.SharedMemory(create=True, size=max(8, total))
     except (OSError, ValueError):
+        # Historically this degradation was silent; now it's counted and
+        # warned once so an exhausted /dev/shm shows up in run output.
+        get_registry().counter("kernel.shm.fallbacks").inc()
+        warn_once(
+            "shm-fallback",
+            "shared memory unavailable or exhausted; kernel chunks fall "
+            "back to plain pickling (results are unaffected, transport "
+            "only; set FLASHFLOW_SHM=0 to silence by disabling shm)",
+        )
         return None, None
+    registry = get_registry()
+    registry.counter("kernel.shm.blocks").inc()
+    registry.counter("kernel.shm.bytes").inc(max(8, total))
     metas = []
     for cm, (arr_off, rng_off, n_words) in zip(chunk, offsets):
         d = cm.duration

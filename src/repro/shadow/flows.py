@@ -49,6 +49,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.tornet.circuit import CIRCUIT_WINDOW_CELLS, STREAM_WINDOW_CELLS
 from repro.units import CELL_LEN
 
@@ -293,7 +295,25 @@ def run_flow_kernel(simulator, prepared):
     clients, metrics, pre-drawn relay noise). Returns the populated
     :class:`repro.shadow.simulator.SimulationMetrics`, bit-identical to
     the stateful walk's.
+
+    Instrumentation sits at event granularity: one ``shadow.horizon``
+    span for the whole walk plus a ``shadow.churn`` child per circuit-
+    churn flow-table rebuild -- never inside the per-second array ops.
     """
+    tracer = get_tracer()
+    with tracer.span(
+        "shadow.horizon",
+        horizon=prepared.horizon,
+        n_relays=simulator._capacity.shape[0],
+        n_benchmarks=len(prepared.benchmarks),
+    ) as span:
+        metrics, churns = _walk_horizon(simulator, prepared, tracer)
+    span.set(churns=churns)
+    get_registry().counter("shadow.churns").inc(churns)
+    return metrics
+
+
+def _walk_horizon(simulator, prepared, tracer):
     config = simulator.config
     capacity = simulator._capacity
     index = simulator._index
@@ -329,14 +349,17 @@ def run_flow_kernel(simulator, prepared):
 
     table: FlowTable | None = None
     next_rebuild = 0
+    churns = 0
 
     for now in range(horizon):
         # --- Event: circuit churn (rebuild the flow table) ------------
         if now == next_rebuild:
-            table = build_flow_table(
-                background, index, now, horizon, prev=table
-            )
+            with tracer.span("shadow.churn", now=now):
+                table = build_flow_table(
+                    background, index, now, horizon, prev=table
+                )
             next_rebuild = now + table.span
+            churns += 1
         n_bg = table.n_flows
         bg_demand = table.demand[now - table.start]
 
@@ -466,7 +489,7 @@ def run_flow_kernel(simulator, prepared):
         load_history,
         measured_seconds,
     )
-    return metrics
+    return metrics, churns
 
 
 # ---------------------------------------------------------------------------

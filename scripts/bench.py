@@ -845,6 +845,134 @@ def measure_stages(repeats: int) -> dict:
     }
 
 
+#: Service bench config: a short analytic continuous deployment (the
+#: daemon's steady-state unit of work) plus isolated churn-apply and
+#: checkpoint costs at large-table sizes.
+SERVICE_BENCH_CONFIG = dict(n_relays=40, periods=6, seed=7)
+SERVICE_TABLE_NS = (1_000, 10_000)
+
+
+def measure_service(repeats: int) -> dict:
+    """Continuous-daemon throughput, checkpoint cost, and churn cost.
+
+    Three rows: (1) a short analytic deployment through
+    :func:`repro.service.run_daemon` on the simulated clock, reported
+    as periods/minute -- the daemon's steady-state throughput; (2)
+    snapshot write (state -> JSON line) and restore (JSON -> state)
+    cost at 1k/10k-relay tables -- the per-boundary checkpoint tax; (3)
+    churn derive+apply cost at the same table sizes. ``cpu_count``
+    provenance lives in the block: the campaign inside each period
+    parallelizes, so single-core CI numbers and workstation numbers
+    are not comparable.
+    """
+    from repro.service import (
+        NetworkTable,
+        ServiceConfig,
+        Snapshot,
+        run_daemon,
+    )
+    from repro.service.churn import ChurnConfig, churn_events_for_period
+
+    config = dict(SERVICE_BENCH_CONFIG)
+    service_config = ServiceConfig(
+        overrides={"n_relays": config["n_relays"]},
+        periods=config["periods"],
+        churn=ChurnConfig(seed=config["seed"], join_rate=2.0,
+                          leave_fraction=0.1),
+        execution=ExecutionConfig(full_simulation=False),
+    )
+
+    deploy_best = float("inf")
+    daemon = None
+    for _ in range(repeats):
+        seconds, daemon = _timed(
+            "bench.service_deployment",
+            lambda: run_daemon(service_config),
+            periods=config["periods"],
+        )
+        deploy_best = min(deploy_best, seconds)
+    assert daemon.next_period == config["periods"]
+    periods_per_minute = config["periods"] / (deploy_best / 60.0)
+    print(f"{'service_deployment':22s} {config['periods']} periods "
+          f"{deploy_best:8.3f}s  ({periods_per_minute:.1f} periods/min, "
+          f"simulated clock)")
+
+    tables = {}
+    for n in SERVICE_TABLE_NS:
+        table = NetworkTable.from_network(
+            synthesize_network(n_relays=n, seed=71)
+        )
+        snapshot = Snapshot(
+            next_period=1,
+            table=table,
+            history={fp: (row.capacity, 0) for fp, row in table.rows.items()},
+            published=1,
+            config=service_config,
+        )
+        write_best = restore_best = float("inf")
+        encoded = None
+        for _ in range(max(repeats, 2)):
+            seconds, encoded = _timed(
+                "bench.service_checkpoint_write",
+                lambda: json.dumps({"type": "snapshot", **snapshot.to_dict()}),
+                n_relays=n,
+            )
+            write_best = min(write_best, seconds)
+            seconds, restored = _timed(
+                "bench.service_checkpoint_restore",
+                lambda: Snapshot.from_dict(json.loads(encoded)),
+                n_relays=n,
+            )
+            restore_best = min(restore_best, seconds)
+        assert len(restored.table) == n
+
+        churn_config = ChurnConfig(seed=config["seed"], join_rate=20.0,
+                                   leave_fraction=0.02)
+        members = table.fingerprints()
+        churn_best = float("inf")
+        counts = None
+        for _ in range(max(repeats, 2)):
+            scratch = NetworkTable(dict(table.rows))
+
+            def derive_and_apply():
+                events = churn_events_for_period(churn_config, 1, members)
+                return scratch.apply_churn(events)
+
+            seconds, counts = _timed(
+                "bench.service_churn_apply", derive_and_apply, n_relays=n
+            )
+            churn_best = min(churn_best, seconds)
+        tables[str(n)] = {
+            "checkpoint_write_seconds": round(write_best, 5),
+            "checkpoint_restore_seconds": round(restore_best, 5),
+            "checkpoint_bytes": len(encoded),
+            "churn_apply_seconds": round(churn_best, 5),
+            "churn_events_applied": sum(counts.values()),
+        }
+        print(f"{'service_table':22s} {n:>7d} relays  checkpoint "
+              f"{write_best * 1e3:7.2f}ms write / {restore_best * 1e3:7.2f}ms "
+              f"restore  churn {churn_best * 1e3:7.2f}ms")
+
+    return {
+        "describe": (
+            "continuous daemon: analytic deployment throughput on the "
+            "simulated clock, snapshot write/restore cost, and churn "
+            "derive+apply cost per network-table size"
+        ),
+        "config": config,
+        "generated_unix": int(time.time()),
+        "repeats": repeats,
+        "cpu_count": os.cpu_count(),
+        "deployment": {
+            "periods": config["periods"],
+            "n_relays": config["n_relays"],
+            "seconds": round(deploy_best, 4),
+            "periods_per_minute": round(periods_per_minute, 2),
+        },
+        "tables": tables,
+    }
+
+
 BENCHES = {
     "fig06_campaign": {
         "describe": "Figure 6 accuracy grid, 30 s slots",
@@ -925,6 +1053,7 @@ def run_benches(repeats: int) -> dict:
     report["pipeline"] = measure_pipeline(repeats)
     report["scale"] = measure_scale(repeats)
     report["stage_breakdown"] = measure_stages(repeats)
+    report["service"] = measure_service(repeats)
     return report
 
 
@@ -975,10 +1104,15 @@ def main() -> None:
         help="run only the traced stage-breakdown bench and merge its "
              "block into the existing output JSON",
     )
+    parser.add_argument(
+        "--service", action="store_true",
+        help="run only the continuous-daemon bench and merge its block "
+             "into the existing output JSON",
+    )
     args = parser.parse_args()
 
     if args.shadow or args.analytic or args.pipeline or args.scale \
-            or args.stages:
+            or args.stages or args.service:
         # Merge only the requested blocks; the other benches' numbers
         # (and the top-level timestamp describing them) are untouched.
         if args.shadow:
@@ -1009,6 +1143,12 @@ def main() -> None:
             print(f"  stage_breakdown: campaign "
                   f"{stages['campaign_wall_seconds']}s across "
                   f"{len(stages['wall_seconds_by_stage'])} stages")
+        if args.service:
+            service = measure_service(args.repeats)
+            _merge_block(args.output, "service", service)
+            print(f"  service: "
+                  f"{service['deployment']['periods_per_minute']} "
+                  f"periods/min on the simulated clock")
         return
 
     report = run_benches(args.repeats)

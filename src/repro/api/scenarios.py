@@ -248,6 +248,30 @@ def _multi_period_deployment(
 
 
 @register_scenario(
+    "continuous-deployment",
+    description=(
+        "The per-period workload of the continuous bwauth daemon "
+        "(repro.service): a generated network measured one period at a "
+        "time, priors and churn supplied by the service layer. periods "
+        "stays 1 -- the daemon owns the period loop, prior carryover, "
+        "and publication cadence."
+    ),
+)
+def _continuous_deployment(
+    n_relays: int = 30, seed: int = 71, **overrides
+) -> Scenario:
+    return Scenario(
+        name="continuous-deployment",
+        network=NetworkSpec(n_relays=n_relays),
+        team=TeamSpec(),
+        priors=None,
+        seed=seed,
+        description="base workload for python -m repro.service",
+        **overrides,
+    )
+
+
+@register_scenario(
     "shadow-measurement",
     description=(
         "The §7 Shadow measurement phase in isolation: congested-"

@@ -38,21 +38,31 @@ class BandwidthLine:
 
     @classmethod
     def parse(cls, line: str) -> "BandwidthLine":
-        fields = dict(
-            part.split("=", 1) for part in line.strip().split() if "=" in part
-        )
+        parts = line.strip().split()
+        if any("=" not in part for part in parts):
+            raise ConfigurationError(f"malformed bandwidth line: {line!r}")
+        fields = dict(part.split("=", 1) for part in parts)
+        if len(fields) != len(parts):
+            raise ConfigurationError(
+                f"duplicate key in bandwidth line: {line!r}"
+            )
         if "node_id" not in fields or "bw" not in fields:
             raise ConfigurationError(f"malformed bandwidth line: {line!r}")
-        return cls(
-            fingerprint=fields["node_id"],
-            bw=float(fields["bw"]),
-            capacity_bps=(
-                float(fields["capacity_bps"])
-                if "capacity_bps" in fields
-                else None
-            ),
-            measured_at=int(fields.get("measured_at", 0)),
-        )
+        try:
+            return cls(
+                fingerprint=fields["node_id"],
+                bw=float(fields["bw"]),
+                capacity_bps=(
+                    float(fields["capacity_bps"])
+                    if "capacity_bps" in fields
+                    else None
+                ),
+                measured_at=int(fields.get("measured_at", 0)),
+            )
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"malformed bandwidth line: {line!r} ({exc})"
+            ) from None
 
 
 @dataclass
@@ -103,13 +113,29 @@ class BandwidthFile:
         )
         if "timestamp" not in header:
             raise ConfigurationError("bandwidth file missing timestamp")
+        try:
+            timestamp = int(header["timestamp"])
+        except ValueError:
+            raise ConfigurationError(
+                f"bandwidth file timestamp {header['timestamp']!r} "
+                f"is not an integer"
+            ) from None
         bwfile = cls(
-            timestamp=int(header["timestamp"]),
+            timestamp=timestamp,
             generator=header.get("generator", "unknown"),
             version=header.get("version", "1.0"),
         )
         for row in rows[1:]:
-            bwfile.add(BandwidthLine.parse(row))
+            line = BandwidthLine.parse(row)
+            if line.fingerprint in bwfile.lines:
+                # Silent last-write-wins would let a corrupt (or tampered)
+                # file drop relays without a trace; daemons republishing
+                # parsed files must round-trip exactly.
+                raise ConfigurationError(
+                    f"duplicate fingerprint {line.fingerprint!r} "
+                    f"in bandwidth file"
+                )
+            bwfile.add(line)
         return bwfile
 
     @classmethod

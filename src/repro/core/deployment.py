@@ -58,10 +58,40 @@ class Deployment:
     #: fingerprint -> (estimate bits/s, period last measured).
     _history: dict[str, tuple[float, int]] = field(default_factory=dict)
     periods: list[PeriodRecord] = field(default_factory=list)
+    #: Periods completed before this object existed (checkpoint/resume:
+    #: a restored deployment resumes period numbering where the snapshot
+    #: left off without carrying the old periods' full records).
+    completed_before: int = 0
 
     @property
     def current_period(self) -> int:
-        return len(self.periods)
+        return self.completed_before + len(self.periods)
+
+    def history_snapshot(self) -> dict[str, tuple[float, int]]:
+        """A copy of the prior-estimate history (for checkpointing)."""
+        return dict(self._history)
+
+    @classmethod
+    def restore(
+        cls,
+        authority: FlashFlowAuthority,
+        history: dict[str, tuple[float, int]],
+        completed_periods: int,
+        full_simulation: bool = True,
+    ) -> "Deployment":
+        """Rebuild a deployment from checkpointed history.
+
+        ``history`` is a prior :meth:`history_snapshot`;
+        ``completed_periods`` is how many periods the snapshot had
+        recorded. :meth:`priors_for`, aging, and period numbering then
+        behave exactly as if the original deployment had kept running.
+        """
+        return cls(
+            authority=authority,
+            full_simulation=full_simulation,
+            _history={fp: (float(e), int(p)) for fp, (e, p) in history.items()},
+            completed_before=int(completed_periods),
+        )
 
     def known_estimates(self) -> dict[str, float]:
         """Estimates still fresh enough to be used as priors."""

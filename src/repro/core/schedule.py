@@ -157,6 +157,64 @@ class PeriodSchedule:
             f"no remaining slot can hold new relay {fingerprint}"
         )
 
+    def remove_relay(self, fingerprint: str) -> SlotAssignment:
+        """Unschedule a relay that left the network mid-deployment.
+
+        The assignment's capacity is released back to its slot, so later
+        :meth:`add_new_relay` calls can re-slot arriving relays into the
+        freed space -- the churn-aware path continuous deployments use
+        when the consensus drops a relay between schedule computation
+        and measurement. Returns the removed assignment.
+        """
+        assignment = self.assignments.pop(fingerprint, None)
+        if assignment is None:
+            raise ScheduleError(f"{fingerprint} is not scheduled this period")
+        remaining = (
+            self.slot_load.get(assignment.slot, 0.0)
+            - assignment.required_capacity
+        )
+        if remaining > 1e-6:
+            self.slot_load[assignment.slot] = remaining
+        else:
+            # The slot is empty (up to float residue): drop it entirely so
+            # slots_in_use/makespan shrink back, mirroring never-assigned.
+            self.slot_load.pop(assignment.slot, None)
+            remaining = 0.0
+        if 0 <= assignment.slot < self._loads.size:
+            self._loads[assignment.slot] = remaining
+        return assignment
+
+    def reslot_relay(self, fingerprint: str,
+                     earliest_slot: int = 0) -> SlotAssignment:
+        """Move a scheduled relay to the earliest feasible slot.
+
+        Removal + FCFS re-insertion (the relay keeps its required
+        capacity and ``is_new`` flag): used when churn frees earlier
+        capacity and a late-slotted relay can be pulled forward. Raises
+        :class:`ScheduleError` -- with the original assignment restored
+        -- if no slot at/after ``earliest_slot`` fits.
+        """
+        removed = self.remove_relay(fingerprint)
+        earliest_slot = max(0, earliest_slot)
+        window = self._loads[earliest_slot:]
+        fits = (
+            (self.team_capacity - window) + 1e-6
+            >= removed.required_capacity
+        )
+        if not fits.any():
+            self._place(removed)
+            raise ScheduleError(
+                f"no slot at/after {earliest_slot} can re-slot {fingerprint}"
+            )
+        assignment = SlotAssignment(
+            fingerprint=fingerprint,
+            slot=earliest_slot + int(np.argmax(fits)),
+            required_capacity=removed.required_capacity,
+            is_new=removed.is_new,
+        )
+        self._place(assignment)
+        return assignment
+
     def slots_in_use(self) -> int:
         return len(self.slot_load)
 

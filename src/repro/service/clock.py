@@ -1,0 +1,54 @@
+"""Clocks the daemon schedules periods against.
+
+Two implementations of one tiny protocol (``now()`` + ``await
+sleep(dt)``): :class:`WallClock` paces periods in real time (the
+production shape -- one period every ``period_seconds``), while
+:class:`SimulatedClock` advances its own time instantly, so tests, CI
+smoke jobs, and benches run a multi-day deployment in milliseconds.
+
+Clocks pace the loop; they never feed results. Timestamps in published
+bandwidth files derive from the period index (the determinism
+discipline: the service layer reads clocks, never RNGs), so a
+simulated-clock run is bit-identical to a wall-clock run of the same
+configuration.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+
+class SimulatedClock:
+    """A clock that jumps instantly to whatever it is asked to wait for."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    async def sleep(self, seconds: float) -> None:
+        self._now += max(0.0, seconds)
+        # Yield once so the daemon loop stays cooperatively scheduled
+        # (cancellation, signal handlers) even at simulated speed.
+        await asyncio.sleep(0)
+
+
+class WallClock:
+    """Real time: ``now`` is the monotonic clock, ``sleep`` really sleeps."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    async def sleep(self, seconds: float) -> None:
+        await asyncio.sleep(max(0.0, seconds))
+
+
+def make_clock(kind: str) -> SimulatedClock | WallClock:
+    """Build a clock from its config name (``simulated`` or ``wall``)."""
+    if kind == "simulated":
+        return SimulatedClock()
+    if kind == "wall":
+        return WallClock()
+    raise ValueError(f"unknown clock kind {kind!r} (simulated|wall)")

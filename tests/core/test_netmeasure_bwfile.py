@@ -158,3 +158,54 @@ def test_selective_capacity_defeated_by_median():
     votes["b4"] = {"r": high}
     aggregated = aggregate_bwauth_votes(votes)
     assert aggregated["r"] == low
+
+
+# ---------------------------------------------------------------------------
+# Parser hardening (service-layer publish path republishes parsed files)
+# ---------------------------------------------------------------------------
+
+def test_bwfile_duplicate_fingerprint_rejected():
+    text = (
+        "version=1.0 generator=flashflow timestamp=0\n"
+        "node_id=r1 bw=100 measured_at=0\n"
+        "node_id=r1 bw=200 measured_at=0\n"
+    )
+    with pytest.raises(ConfigurationError, match="duplicate fingerprint"):
+        BandwidthFile.parse(text)
+
+
+def test_bwfile_line_duplicate_key_rejected():
+    with pytest.raises(ConfigurationError, match="duplicate key"):
+        BandwidthLine.parse("node_id=r1 bw=100 bw=200")
+
+
+def test_bwfile_line_keyless_token_rejected():
+    with pytest.raises(ConfigurationError, match="malformed"):
+        BandwidthLine.parse("node_id=r1 bw=100 garbage")
+
+
+def test_bwfile_line_non_numeric_values_rejected():
+    with pytest.raises(ConfigurationError, match="malformed"):
+        BandwidthLine.parse("node_id=r1 bw=lots")
+    with pytest.raises(ConfigurationError, match="malformed"):
+        BandwidthLine.parse("node_id=r1 bw=10 measured_at=noon")
+
+
+def test_bwfile_non_integer_timestamp_rejected():
+    with pytest.raises(ConfigurationError, match="not an integer"):
+        BandwidthFile.parse("version=1.0 timestamp=yesterday")
+
+
+def test_bwfile_serialize_parse_serialize_idempotent():
+    import random
+
+    rng = random.Random(9)
+    bwfile = BandwidthFile.from_estimates(
+        {f"relay{i:03d}": rng.uniform(1e6, 1e9) for i in range(50)},
+        timestamp=86400,
+        generator="bwauth0",
+    )
+    once = bwfile.serialize()
+    twice = BandwidthFile.parse(once).serialize()
+    assert twice == once
+    assert BandwidthFile.parse(twice).serialize() == twice

@@ -159,3 +159,96 @@ def test_greedy_pack_properties(n, seed):
             for f in slot
         )
         assert load <= gbit(3) + 1e-6
+
+
+# ---------------------------------------------------------------------------
+# Churn-aware schedule surgery (remove_relay / reslot_relay)
+# ---------------------------------------------------------------------------
+
+def test_remove_relay_releases_slot_capacity(params):
+    estimates = _estimates(n=20)
+    schedule = PeriodSchedule.build(params, gbit(3), estimates, seed=b"x" * 32)
+    victim = next(iter(schedule.assignments))
+    slot = schedule.assignments[victim].slot
+    residual_before = schedule.residual(slot)
+    removed = schedule.remove_relay(victim)
+    assert removed.fingerprint == victim
+    assert victim not in schedule.assignments
+    assert schedule.residual(slot) == pytest.approx(
+        residual_before + removed.required_capacity
+    )
+
+
+def test_remove_last_relay_in_slot_frees_it_entirely(params):
+    schedule = PeriodSchedule.build(
+        params, gbit(3), {"only": mbit(100)}, seed=b"y" * 32
+    )
+    slot = schedule.assignments["only"].slot
+    schedule.remove_relay("only")
+    assert schedule.slots_in_use() == 0
+    assert schedule.residual(slot) == schedule.team_capacity
+    # The freed slot is immediately reusable at full capacity.
+    schedule.add_new_relay("replacement", mbit(100))
+    assert schedule.assignments["replacement"].slot == 0
+
+
+def test_remove_unknown_relay_raises(params):
+    schedule = PeriodSchedule.build(
+        params, gbit(3), {"a": mbit(10)}, seed=b"z" * 32
+    )
+    with pytest.raises(ScheduleError):
+        schedule.remove_relay("never-scheduled")
+
+
+def test_remove_then_readd_round_trips(params):
+    estimates = _estimates(n=30)
+    schedule = PeriodSchedule.build(params, gbit(3), estimates, seed=b"q" * 32)
+    loads_before = dict(schedule.slot_load)
+    removed = schedule.remove_relay("r7")
+    schedule._place(removed)
+    assert dict(schedule.slot_load) == loads_before
+    assert schedule.assignments["r7"] == removed
+
+
+def test_reslot_pulls_relay_into_freed_capacity(params):
+    # Fill slot 0 completely, forcing the next new relay into slot 1;
+    # once the blocker leaves, reslotting pulls it back to slot 0.
+    tight = FlashFlowParams()
+    schedule = PeriodSchedule(
+        params=tight, team_capacity=gbit(1), seed=b"s" * 32
+    )
+    schedule.add_new_relay("blocker", gbit(1) / tight.allocation_factor)
+    assert schedule.assignments["blocker"].slot == 0
+    schedule.add_new_relay("late", mbit(50))
+    assert schedule.assignments["late"].slot == 1
+    schedule.remove_relay("blocker")
+    moved = schedule.reslot_relay("late")
+    assert moved.slot == 0
+    assert schedule.assignments["late"].slot == 0
+    assert moved.is_new
+
+
+def test_reslot_preserves_required_capacity_exactly(params):
+    estimates = _estimates(n=10)
+    schedule = PeriodSchedule.build(params, gbit(3), estimates, seed=b"r" * 32)
+    before = schedule.assignments["r3"].required_capacity
+    moved = schedule.reslot_relay("r3", earliest_slot=0)
+    assert moved.required_capacity == before
+
+
+def test_reslot_failure_restores_original_assignment(params):
+    tight = FlashFlowParams(
+        slot_seconds=FlashFlowParams().period_seconds,
+    )
+    schedule = PeriodSchedule(
+        params=tight, team_capacity=gbit(1), seed=b"t" * 32
+    )
+    # One slot total, fully occupied: re-slotting past it cannot succeed.
+    schedule.add_new_relay("only", gbit(1) / tight.allocation_factor)
+    original = schedule.assignments["only"]
+    with pytest.raises(ScheduleError):
+        schedule.reslot_relay("only", earliest_slot=1)
+    assert schedule.assignments["only"] == original
+    assert schedule.slot_load[original.slot] == pytest.approx(
+        original.required_capacity
+    )

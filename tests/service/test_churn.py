@@ -1,0 +1,133 @@
+"""Churn feed determinism and application semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import FlashFlowParams
+from repro.core.schedule import PeriodSchedule
+from repro.errors import ConfigurationError
+from repro.service.churn import (
+    ChurnConfig,
+    ChurnEvent,
+    apply_to_schedule,
+    churn_events_for_period,
+)
+from repro.service.state import NetworkTable, RelayRow
+from repro.units import gbit, mbit
+
+
+def _table(n: int = 10) -> NetworkTable:
+    return NetworkTable(
+        {
+            f"relay{i:03d}": RelayRow(
+                fingerprint=f"relay{i:03d}",
+                capacity=mbit(50 + 10 * i),
+                seed=1000 + i,
+            )
+            for i in range(n)
+        }
+    )
+
+
+def test_events_are_deterministic_and_membership_order_free():
+    config = ChurnConfig(seed=9, join_rate=3.0, leave_fraction=0.2,
+                         capacity_change_fraction=0.3)
+    members = [f"relay{i:03d}" for i in range(20)]
+    a = churn_events_for_period(config, 4, members)
+    b = churn_events_for_period(config, 4, list(reversed(members)))
+    assert a == b
+    assert a  # the rates above produce events at this size
+    # A different period re-derives a different stream.
+    assert a != churn_events_for_period(config, 5, members)
+
+
+def test_event_order_is_leaves_then_joins_then_capacity():
+    config = ChurnConfig(seed=2, join_rate=4.0, leave_fraction=0.3,
+                         capacity_change_fraction=0.5)
+    events = churn_events_for_period(config, 1, [f"r{i}" for i in range(30)])
+    kinds = [e.kind for e in events]
+    boundary = [k for k in ("leave", "join", "capacity") if k in kinds]
+    collapsed = [k for i, k in enumerate(kinds) if i == 0 or kinds[i - 1] != k]
+    assert collapsed == boundary
+
+
+def test_events_round_trip_through_dicts():
+    config = ChurnConfig(seed=5, join_rate=3.0, leave_fraction=0.2,
+                         capacity_change_fraction=0.4)
+    events = churn_events_for_period(config, 2, [f"r{i}" for i in range(15)])
+    assert [ChurnEvent.from_dict(e.to_dict()) for e in events] == events
+    assert ChurnConfig.from_dict(config.to_dict()) == config
+
+
+def test_table_apply_churn_joins_leaves_and_drift():
+    table = _table(10)
+    before = dict(table.rows)
+    events = [
+        ChurnEvent(kind="leave", fingerprint="relay003"),
+        ChurnEvent(kind="join", fingerprint="fresh", capacity=mbit(80),
+                   seed=77),
+        ChurnEvent(kind="capacity", fingerprint="relay005", capacity=2.0),
+        ChurnEvent(kind="capacity", fingerprint="gone", capacity=2.0),
+        ChurnEvent(kind="leave", fingerprint="also-gone"),
+    ]
+    counts = table.apply_churn(events)
+    assert counts == {"joins": 1, "leaves": 1, "capacity_changes": 1}
+    assert "relay003" not in table
+    assert table.rows["fresh"].capacity == mbit(80)
+    assert table.rows["fresh"].seed == 77
+    assert table.rows["relay005"].capacity == 2.0 * before["relay005"].capacity
+
+
+def test_join_collision_is_a_configuration_error():
+    table = _table(3)
+    with pytest.raises(ConfigurationError):
+        table.apply_churn(
+            [ChurnEvent(kind="join", fingerprint="relay000",
+                        capacity=mbit(10), seed=1)]
+        )
+
+
+def test_apply_to_schedule_releases_and_reuses_capacity(params):
+    estimates = {f"relay{i:03d}": mbit(100) for i in range(6)}
+    schedule = PeriodSchedule.build(params, gbit(3.0), estimates, seed=b"s")
+    events = [
+        ChurnEvent(kind="leave", fingerprint="relay002"),
+        ChurnEvent(kind="leave", fingerprint="not-scheduled"),
+        ChurnEvent(kind="join", fingerprint="fresh", capacity=mbit(80),
+                   seed=5),
+        ChurnEvent(kind="capacity", fingerprint="relay001", capacity=1.5),
+    ]
+    counts = apply_to_schedule(schedule, events, params.new_relay_seed)
+    assert counts == {"joins": 1, "leaves": 1, "capacity_changes": 1,
+                      "unslotted": 0}
+    assert "relay002" not in schedule.assignments
+    assert schedule.assignments["fresh"].is_new
+
+
+def test_apply_to_schedule_counts_unslottable_joins(params):
+    # A single-slot schedule already holding a full-capacity relay
+    # cannot take any join: it must be counted, not raised.
+    tight = FlashFlowParams(
+        slot_seconds=params.period_seconds, period_seconds=params.period_seconds
+    )
+    schedule = PeriodSchedule.build(
+        tight, gbit(1.0), {"big": gbit(1.0)}, seed=b"t"
+    )
+    counts = apply_to_schedule(
+        schedule,
+        [ChurnEvent(kind="join", fingerprint="fresh", capacity=mbit(10),
+                    seed=1)],
+        tight.new_relay_seed,
+    )
+    assert counts["unslotted"] == 1
+    assert "fresh" not in schedule.assignments
+
+
+def test_churn_config_validation():
+    with pytest.raises(ConfigurationError):
+        ChurnConfig(join_rate=-1.0)
+    with pytest.raises(ConfigurationError):
+        ChurnConfig(leave_fraction=1.0)
+    with pytest.raises(ConfigurationError):
+        ChurnConfig(join_prefix="")

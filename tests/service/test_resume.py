@@ -1,0 +1,130 @@
+"""Checkpoint/resume determinism: the acceptance-criteria pins.
+
+A daemon killed at a period boundary -- or mid-period, leaving a
+truncated journal -- and resumed from its last snapshot must produce
+**bit-identical** bandwidth files and per-period error stats for every
+remaining period, and journaling itself must not perturb results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.execution import ExecutionConfig
+from repro.errors import ConfigurationError
+from repro.service import BwauthDaemon, ServiceConfig, run_daemon
+from repro.service.churn import ChurnConfig
+from repro.service.journal import read_journal
+
+PERIODS = 4
+
+
+def config(**overrides) -> ServiceConfig:
+    defaults = dict(
+        overrides={"n_relays": 12},
+        periods=PERIODS,
+        churn=ChurnConfig(seed=3, join_rate=2.0, leave_fraction=0.15,
+                          capacity_change_fraction=0.2),
+        execution=ExecutionConfig(full_simulation=False),
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """One uninterrupted deployment: the oracle every test compares to."""
+    daemon = run_daemon(config())
+    return {
+        "published": dict(daemon.published),
+        "stats": {s["period"]: s for s in daemon.period_stats},
+        "members": sorted(daemon.table.fingerprints()),
+        "history": daemon.deployment.history_snapshot(),
+    }
+
+
+def test_journaling_does_not_perturb_results(tmp_path, reference):
+    daemon = run_daemon(config(), journal_path=tmp_path / "svc.jsonl")
+    assert dict(daemon.published) == reference["published"]
+    assert {s["period"]: s for s in daemon.period_stats} == reference["stats"]
+
+
+@pytest.mark.parametrize("kill_at", [1, 2, 3])
+def test_kill_at_boundary_resumes_bit_identical(tmp_path, reference, kill_at):
+    journal_path = tmp_path / "svc.jsonl"
+    first = run_daemon(config(), journal_path=journal_path,
+                       until_period=kill_at)
+    assert first.next_period == kill_at
+
+    resumed = BwauthDaemon.resume(journal_path)
+    assert resumed.next_period == kill_at
+    resumed.run()
+    resumed.close()
+
+    published = dict(first.published)
+    published.update(dict(resumed.published))
+    assert published == reference["published"]
+
+    stats = {s["period"]: s for s in first.period_stats}
+    stats.update({s["period"]: s for s in resumed.period_stats})
+    assert stats == reference["stats"]
+
+    assert sorted(resumed.table.fingerprints()) == reference["members"]
+    assert resumed.deployment.history_snapshot() == reference["history"]
+
+
+def test_truncated_journal_resumes_from_last_boundary(tmp_path, reference):
+    journal_path = tmp_path / "svc.jsonl"
+    run_daemon(config(), journal_path=journal_path)
+
+    # Simulate a kill mid-period 2: keep everything through period 1's
+    # snapshot, a few period-2 records, then half a line.
+    lines = journal_path.read_text().splitlines()
+    snapshots = [i for i, line in enumerate(lines) if '"snapshot"' in line]
+    cut = snapshots[1]  # the boundary after period 1
+    kept = lines[: cut + 3]  # snapshot + the start of period 2
+    truncated = tmp_path / "truncated.jsonl"
+    truncated.write_text(
+        "\n".join(kept) + "\n" + lines[cut + 3][: len(lines[cut + 3]) // 2]
+    )
+
+    resumed = BwauthDaemon.resume(truncated)
+    assert resumed.next_period == 2  # periods 0-1 are durable
+    resumed.run()
+    resumed.close()
+
+    for k in (2, 3):
+        assert dict(resumed.published)[k] == reference["published"][k]
+    assert {s["period"]: s for s in resumed.period_stats} == {
+        k: reference["stats"][k] for k in (2, 3)
+    }
+
+    # The reopened journal is itself a valid, resumable record.
+    records = read_journal(truncated)
+    assert sum(1 for r in records if r["type"] == "resumed") == 1
+    assert records[-1]["type"] == "end"
+    assert records[-1]["complete"] is True
+
+
+def test_resume_without_snapshot_is_an_error(tmp_path):
+    journal_path = tmp_path / "svc.jsonl"
+    daemon = BwauthDaemon(config(), journal_path=journal_path)
+    daemon.close()  # died before the first period boundary
+    with pytest.raises(ConfigurationError, match="no complete snapshot"):
+        BwauthDaemon.resume(journal_path)
+
+
+def test_double_resume_chains(tmp_path, reference):
+    journal_path = tmp_path / "svc.jsonl"
+    run_daemon(config(), journal_path=journal_path, until_period=1)
+    second = BwauthDaemon.resume(journal_path)
+    second.run(until_period=3)
+    second.close()
+    third = BwauthDaemon.resume(journal_path)
+    third.run()
+    third.close()
+    assert dict(third.published) == {
+        3: reference["published"][3]
+    }
+    records = read_journal(journal_path)
+    assert sum(1 for r in records if r["type"] == "resumed") == 2

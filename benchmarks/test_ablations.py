@@ -35,8 +35,14 @@ def test_ablation_secret_schedule(benchmark, report):
     def run():
         outcomes = {}
         for schedule_known in (True, False):
+            # A predictable schedule lets the relay be at full capacity
+            # in every measured slot (active_fraction=1.0); the secret
+            # schedule forces a blind q=0.25 gamble, rolled
+            # automatically when each measurement is admitted.
             behavior = SelectiveCapacityRelayBehavior(
-                active_fraction=0.25, idle_fraction=0.1, seed=4
+                active_fraction=1.0 if schedule_known else 0.25,
+                idle_fraction=0.1,
+                seed=4,
             )
             relay = Relay.with_capacity(
                 f"sel-{schedule_known}", capacity, behavior=behavior, seed=5
@@ -44,10 +50,6 @@ def test_ablation_secret_schedule(benchmark, report):
             votes = {}
             for i in range(9):
                 auth = quick_team(seed=400 + i)
-                if schedule_known:
-                    behavior._currently_active = True  # times it perfectly
-                else:
-                    behavior.roll_slot()  # secret schedule: blind gamble
                 votes[f"b{i}"] = {
                     "r": auth.measure_relay(
                         relay, initial_estimate=capacity, seed_offset=i

@@ -138,15 +138,20 @@ def test_table2_system_comparison(benchmark, report):
 
 def test_table2_flashflow_bound_is_structural(benchmark, report):
     """The 1.33x is a protocol bound, not an empirical average: the clamp
-    y <= x r/(1-r) holds for every per-second report."""
+    y <= x r/(1-r) holds for every finite per-second report, and a
+    non-finite claim is rejected outright at the choke point."""
+    import pytest
+
     from repro.core.measurement import clamp_background
 
     def worst_case():
         worst = 0.0
         for x in (1e6, 1e8, 1e9):
-            for lie in (0.0, 1e9, 1e15, float("inf")):
+            for lie in (0.0, 1e9, 1e15, 1e300):
                 x_total = x + clamp_background(x, lie, 0.25)
                 worst = max(worst, x_total / x)
+            with pytest.raises(ValueError):
+                clamp_background(x, float("inf"), 0.25)
         return worst
 
     worst = run_once(benchmark, worst_case)

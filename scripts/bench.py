@@ -973,6 +973,138 @@ def measure_service(repeats: int) -> dict:
     }
 
 
+#: Adversarial-round bench config: a mixed round of the four §5 attack
+#: behaviours (all of which now compile into the kernel) plus honest
+#: relays, timed on the stateful engine loop vs the vectorized kernel.
+ATTACKS_BENCH_CONFIG = dict(n_specs=48, seed=37)
+
+
+def _adversarial_round_specs(n_specs: int, seed: int):
+    """One adversarial round: the four attacks cycled across relays."""
+    from repro.attacks.relays import (
+        ForgingRelayBehavior,
+        RatioCheatingRelayBehavior,
+        SelectiveCapacityRelayBehavior,
+        TrafficLiarRelayBehavior,
+    )
+
+    behaviors = (
+        lambda s: TrafficLiarRelayBehavior(lie_factor=25.0),
+        lambda s: RatioCheatingRelayBehavior(),
+        lambda s: ForgingRelayBehavior(forge_fraction=0.4, seed=s),
+        lambda s: SelectiveCapacityRelayBehavior(seed=s),
+        lambda s: None,  # honest relays interleave with the attackers
+        lambda s: None,
+    )
+    params = FlashFlowParams()
+    team = quick_team(seed=seed).team
+    specs = []
+    for i in range(n_specs):
+        capacity = mbit(80 + 35 * (i % 13))
+        specs.append(
+            MeasurementSpec(
+                target=Relay.with_capacity(
+                    f"adv{i}", capacity, seed=seed + i,
+                    behavior=behaviors[i % len(behaviors)](seed + 100 + i),
+                ),
+                assignments=allocate_capacity(
+                    team, params.allocation_factor * capacity
+                ),
+                params=params,
+                seed=seed + i,
+                background_demand=mbit(20),
+                enforce_admission=False,
+            )
+        )
+    return specs
+
+
+def measure_attacks(repeats: int) -> dict:
+    """Compiled-adversary vs stateful wall time for an adversarial round.
+
+    The four common §5 behaviours carry kernel programs, so a round
+    full of attackers runs through the vectorized array walk with no
+    stateful fallback. Times the same mixed adversarial round (attacks
+    plus honest relays, background traffic on) as a stateful
+    ``engine.run`` loop and as one ``run_specs`` call on the vector
+    backend, verifies bit-identical estimates and failure flags, and
+    records the inflation-sweep summary (every grid point under the
+    1/(1-r) bound).
+    """
+    from repro.attacks.sweep import inflation_sweep
+    from repro.kernel import run_specs
+    from repro.obs.metrics import get_registry
+
+    config = dict(ATTACKS_BENCH_CONFIG)
+    rows: dict[str, float] = {}
+    signatures = {}
+    for name in ("stateful_loop", "compiled_kernel"):
+        best = float("inf")
+        for _ in range(repeats):
+            specs = _adversarial_round_specs(config["n_specs"],
+                                             config["seed"])
+            engine = MeasurementEngine()
+            if name == "stateful_loop":
+                run = lambda: [engine.run(s) for s in specs]  # noqa: E731
+            else:
+                fallbacks = get_registry().counter("kernel.specs.fallback")
+                before = fallbacks.value
+                run = lambda: run_specs(engine, specs, backend="vector")  # noqa: E731
+            seconds, outcomes = _timed("bench.attacks_round", run, mode=name)
+            if name == "compiled_kernel" and fallbacks.value != before:
+                raise SystemExit(
+                    "attacks: adversarial specs took the stateful fallback"
+                )
+            best = min(best, seconds)
+            signatures[name] = [
+                (o.estimate, o.failed, o.failure_reason) for o in outcomes
+            ]
+        rows[name] = round(best, 4)
+        print(f"{'attacks_round':22s} {name:15s} {best:8.3f}s  "
+              f"({config['n_specs']} adversarial specs)")
+    identical = signatures["stateful_loop"] == signatures["compiled_kernel"]
+    if not identical:  # pragma: no cover - a correctness regression
+        raise SystemExit("attacks: kernel disagrees with the stateful loop")
+
+    points = inflation_sweep(
+        behaviors=("traffic-liar", "ratio-cheater", "collusion"),
+        fractions=(0.25,),
+        n_relays=10,
+    )
+    if not all(p.within_bound for p in points):  # pragma: no cover
+        raise SystemExit("attacks: an inflation-sweep point broke the bound")
+    print(f"{'attacks_sweep':22s} {len(points)} points, worst inflation "
+          f"{max(p.max_inflation for p in points):.3f} "
+          f"(bound {points[0].bound:.3f})")
+    return {
+        "describe": (
+            "mixed adversarial round (traffic liar, ratio cheater, "
+            "forger, selective capacity, honest): stateful engine loop "
+            "vs the compiled kernel walk, plus the inflation-sweep "
+            "bound check"
+        ),
+        "config": config,
+        "generated_unix": int(time.time()),
+        "repeats": repeats,
+        "seconds": rows,
+        "speedup_compiled_vs_stateful": round(
+            rows["stateful_loop"] / rows["compiled_kernel"], 2
+        ),
+        "identical_estimates": identical,
+        "inflation_sweep": [
+            {
+                "behavior": p.behavior,
+                "adversary_fraction": p.adversary_fraction,
+                "max_inflation": round(p.max_inflation, 4),
+                "bound": round(p.bound, 4),
+                "within_bound": p.within_bound,
+                "torflow_inflation": p.torflow_inflation,
+            }
+            for p in points
+        ],
+    }
+
+
 BENCHES = {
     "fig06_campaign": {
         "describe": "Figure 6 accuracy grid, 30 s slots",
@@ -1054,6 +1186,7 @@ def run_benches(repeats: int) -> dict:
     report["scale"] = measure_scale(repeats)
     report["stage_breakdown"] = measure_stages(repeats)
     report["service"] = measure_service(repeats)
+    report["attacks"] = measure_attacks(repeats)
     return report
 
 
@@ -1109,10 +1242,16 @@ def main() -> None:
         help="run only the continuous-daemon bench and merge its block "
              "into the existing output JSON",
     )
+    parser.add_argument(
+        "--attacks", action="store_true",
+        help="run only the adversarial-round bench (compiled vs "
+             "stateful) and merge its block into the existing output "
+             "JSON",
+    )
     args = parser.parse_args()
 
     if args.shadow or args.analytic or args.pipeline or args.scale \
-            or args.stages or args.service:
+            or args.stages or args.service or args.attacks:
         # Merge only the requested blocks; the other benches' numbers
         # (and the top-level timestamp describing them) are untouched.
         if args.shadow:
@@ -1149,6 +1288,12 @@ def main() -> None:
             print(f"  service: "
                   f"{service['deployment']['periods_per_minute']} "
                   f"periods/min on the simulated clock")
+        if args.attacks:
+            attacks = measure_attacks(args.repeats)
+            _merge_block(args.output, "attacks", attacks)
+            print(f"  attacks: compiled "
+                  f"{attacks['speedup_compiled_vs_stateful']}x vs "
+                  f"stateful adversarial round")
         return
 
     report = run_benches(args.repeats)

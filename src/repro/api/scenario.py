@@ -102,6 +102,14 @@ class TeamSpec:
 
 
 def _behavior_factories() -> dict[str, Callable[[int], RelayBehavior]]:
+    """Registered behaviours: ``name -> factory``.
+
+    A value is either a plain ``seed -> RelayBehavior`` callable or a
+    *factory class* (e.g. :class:`repro.attacks.CollusionFactory`) that
+    is instantiated afresh per resolution -- stateful factories must
+    not share state (collusion ledgers) between scenario resolutions.
+    """
+    from repro.attacks.collusion import CollusionFactory
     from repro.attacks.relays import (
         ForgingRelayBehavior,
         RatioCheatingRelayBehavior,
@@ -116,6 +124,7 @@ def _behavior_factories() -> dict[str, Callable[[int], RelayBehavior]]:
         "selective-capacity": lambda seed: SelectiveCapacityRelayBehavior(
             seed=seed
         ),
+        "collusion": CollusionFactory,
     }
 
 
@@ -155,13 +164,27 @@ class AdversarySpec:
             return self.behavior
         return getattr(self.behavior, "__name__", "custom")
 
-    def make(self, seed: int) -> RelayBehavior:
-        factory = (
+    def factory(self) -> Callable[[int], RelayBehavior]:
+        """Resolve the entry into one live ``seed -> behaviour`` factory.
+
+        Class-valued registry entries (stateful factories such as
+        ``CollusionFactory``) are instantiated here, once per
+        resolution; plain callables pass through unchanged.
+        ``AdversaryMix.apply`` resolves each entry exactly once so all
+        of an entry's behaviours come from the same factory instance.
+        """
+        resolved = (
             _behavior_factories()[self.behavior]
             if isinstance(self.behavior, str)
             else self.behavior
         )
-        return factory(seed)
+        if isinstance(resolved, type):
+            return resolved()
+        return resolved
+
+    def make(self, seed: int) -> RelayBehavior:
+        """One-off behaviour construction (resolves a fresh factory)."""
+        return self.factory()(seed)
 
 
 @dataclass(frozen=True)
@@ -189,16 +212,20 @@ class AdversaryMix:
         assigned: dict[str, str] = {}
         remaining = sorted(network.relays)
         for entry in self.entries:
+            factory = entry.factory()
             rng = fork(seed, f"adversary-{entry.name}")
             count = min(
                 len(remaining), round(entry.fraction * len(network))
             )
             picked = rng.sample(remaining, count) if count else []
             for fp in picked:
-                network[fp].behavior = entry.make(
+                network[fp].behavior = factory(
                     seed_from(seed, f"adversary-{entry.name}-{fp}")
                 )
                 assigned[fp] = entry.name
+            finalize = getattr(factory, "finalize", None)
+            if finalize is not None:
+                finalize()
             remaining = [fp for fp in remaining if fp not in assigned]
         return assigned
 

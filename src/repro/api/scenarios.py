@@ -225,6 +225,73 @@ def _inflation_attack(
 
 
 @register_scenario(
+    "collusion-attack",
+    description=(
+        "Multi-relay bandwidth inflation (TorMult-style): colluding "
+        "cliques claim each other's measurement traffic as background. "
+        "The per-relay clamp keeps report.adversary_inflation() under "
+        "1/(1-r) even though the claimed bytes really exist on the "
+        "wire; the same attack inflates TorFlow unboundedly."
+    ),
+)
+def _collusion_attack(
+    n_relays: int = 16,
+    seed: int = 10,
+    adversary_fraction: float = 0.5,
+    **overrides,
+) -> Scenario:
+    return Scenario(
+        name="collusion-attack",
+        network=NetworkSpec(n_relays=n_relays, median=mbit(100), sigma=0.8),
+        team=TeamSpec(),
+        priors="truth",
+        adversaries=AdversaryMix(
+            entries=(
+                AdversarySpec(
+                    behavior="collusion", fraction=adversary_fraction
+                ),
+            )
+        ),
+        seed=seed,
+        description="colluding cliques pooling measurement-traffic claims",
+        **overrides,
+    )
+
+
+@register_scenario(
+    "inflation-sweep",
+    description=(
+        "One grid point of the §5 inflation sweep: a small "
+        "ground-truth network with a parameterized adversary behaviour "
+        "and fraction. repro.attacks.inflation_sweep() drives this "
+        "across behaviours x fractions and checks every point against "
+        "the 1/(1-r) bound."
+    ),
+)
+def _inflation_sweep(
+    n_relays: int = 16,
+    seed: int = 13,
+    adversary_fraction: float = 0.25,
+    behavior: str = "ratio-cheater",
+    **overrides,
+) -> Scenario:
+    return Scenario(
+        name="inflation-sweep",
+        network=NetworkSpec(n_relays=n_relays, median=mbit(80), sigma=0.6),
+        team=TeamSpec(),
+        priors="truth",
+        adversaries=AdversaryMix(
+            entries=(
+                AdversarySpec(behavior=behavior, fraction=adversary_fraction),
+            )
+        ),
+        seed=seed,
+        description="one behaviour x fraction point of the inflation sweep",
+        **overrides,
+    )
+
+
+@register_scenario(
     "multi-period-deployment",
     description=(
         "The §4.3 continuous-operation loop: several 24-hour periods "

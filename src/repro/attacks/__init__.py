@@ -3,6 +3,11 @@
 - :mod:`repro.attacks.relays` -- malicious relay behaviours that plug into
   :class:`repro.tornet.relay.Relay`: lying about background traffic,
   forging echo cells, showing capacity only when measured, Sybil floods;
+- :mod:`repro.attacks.collusion` -- multi-relay bandwidth inflation:
+  colluding cliques claim each other's measurement traffic as
+  background (TorMult-style, arXiv:2307.08550);
+- :mod:`repro.attacks.sweep` -- adversary-fraction sweeps checking every
+  behaviour against the ``1/(1-r)`` bound, with a TorFlow contrast;
 - :mod:`repro.attacks.analysis` -- the closed-form security results:
   the 1/(1-r) inflation bound, forge-detection probabilities, and the
   binomial analysis of selective-capacity strategies against the
@@ -15,6 +20,11 @@ from repro.attacks.analysis import (
     selective_capacity_failure_probability,
     torflow_self_report_attack,
 )
+from repro.attacks.collusion import (
+    CollusionBehavior,
+    CollusionFactory,
+    CollusionGroup,
+)
 from repro.attacks.relays import (
     ForgingRelayBehavior,
     RatioCheatingRelayBehavior,
@@ -22,14 +32,20 @@ from repro.attacks.relays import (
     TrafficLiarRelayBehavior,
     make_sybil_flood,
 )
+from repro.attacks.sweep import SweepPoint, inflation_sweep
 
 __all__ = [
+    "CollusionBehavior",
+    "CollusionFactory",
+    "CollusionGroup",
     "ForgingRelayBehavior",
     "RatioCheatingRelayBehavior",
     "SelectiveCapacityRelayBehavior",
+    "SweepPoint",
     "TrafficLiarRelayBehavior",
     "forge_evasion_probability",
     "inflation_bound",
+    "inflation_sweep",
     "make_sybil_flood",
     "selective_capacity_failure_probability",
     "torflow_self_report_attack",

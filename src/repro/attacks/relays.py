@@ -18,12 +18,12 @@ one of them can achieve:
 
 from __future__ import annotations
 
-import os
+import math
 import random
 
 from repro.tornet.cell import PAYLOAD_LEN
 from repro.tornet.network import TorNetwork
-from repro.tornet.relay import Relay, RelayBehavior
+from repro.tornet.relay import BehaviorProgram, Relay, RelayBehavior
 
 
 class TrafficLiarRelayBehavior(RelayBehavior):
@@ -37,12 +37,17 @@ class TrafficLiarRelayBehavior(RelayBehavior):
     name = "traffic-liar"
 
     def __init__(self, lie_factor: float = 1000.0):
-        if lie_factor < 1:
-            raise ValueError("a liar reports at least the true amount")
+        if not math.isfinite(lie_factor) or lie_factor < 1:
+            raise ValueError(
+                "a liar reports at least the true amount (finite lie factor)"
+            )
         self.lie_factor = lie_factor
 
     def report_background(self, actual_bytes: float, relay: Relay) -> float:
         return actual_bytes * self.lie_factor
+
+    def kernel_program(self) -> BehaviorProgram:
+        return BehaviorProgram(background_report_scale=self.lie_factor)
 
 
 class RatioCheatingRelayBehavior(RelayBehavior):
@@ -60,18 +65,31 @@ class RatioCheatingRelayBehavior(RelayBehavior):
         if not 0 <= claimed_ratio < 1:
             raise ValueError("claimed ratio must be in [0, 1)")
         self.claimed_ratio = claimed_ratio
+        # Precomputed once so the stateful report and the kernel's array
+        # walk apply the identical single multiplication (bit parity).
+        self._claim_factor = claimed_ratio / (1.0 - claimed_ratio)
         self._last_measurement_bytes = 0.0
 
     def enforces_ratio(self) -> bool:
         return False
 
+    def note_measurement(self, measurement_bytes: float, relay: Relay) -> None:
+        self._last_measurement_bytes = measurement_bytes
+
     def report_background(self, actual_bytes: float, relay: Relay) -> float:
         # Claim the full allowance relative to observed measurement
         # traffic; the relay knows x (it forwarded it), so it reports the
-        # largest y the BWAuth might believe. Claiming even more changes
-        # nothing -- the clamp wins either way.
+        # largest y the BWAuth will believe: y = x * r/(1-r). Claiming
+        # more changes nothing -- the clamp wins either way -- and a
+        # non-finite claim is rejected outright at the choke point.
         del actual_bytes
-        return float("inf")
+        return self._last_measurement_bytes * self._claim_factor
+
+    def kernel_program(self) -> BehaviorProgram:
+        return BehaviorProgram(
+            enforces_ratio=False,
+            measurement_claim_factor=self._claim_factor,
+        )
 
 
 class ForgingRelayBehavior(RelayBehavior):
@@ -93,13 +111,24 @@ class ForgingRelayBehavior(RelayBehavior):
     def echo_payload(self, correct_payload: bytes, relay: Relay) -> bytes:
         if self._rng.random() < self.forge_fraction:
             self.cells_forged += 1
-            return os.urandom(PAYLOAD_LEN)
+            # Forged content comes from the behaviour's seeded stream (not
+            # os.urandom) so same-seed runs produce identical transcripts.
+            return self._rng.randbytes(PAYLOAD_LEN)
         return correct_payload
 
     def capacity_factor(self, being_measured: bool, relay: Relay) -> float:
         # Skipping decryption frees CPU: a forger can push ~35% more cells
         # (cell crypto is roughly a third of Tor's forwarding cost).
         return 1.35 if being_measured else 1.0
+
+    def kernel_program(self) -> BehaviorProgram:
+        return BehaviorProgram(forge_fraction=self.forge_fraction)
+
+    def settle_verify_replay(
+        self, rng_state: object, cells_forged: int
+    ) -> None:
+        self._rng.setstate(rng_state)
+        self.cells_forged += cells_forged
 
 
 class SelectiveCapacityRelayBehavior(RelayBehavior):
@@ -110,7 +139,9 @@ class SelectiveCapacityRelayBehavior(RelayBehavior):
     provides ``idle_fraction`` of it. Because the schedule is secret, the
     relay cannot target actual measurement slots and must gamble; the
     median over BWAuths then fails it with probability >= 0.5 whenever
-    q < 1/2. Call :meth:`roll_slot` when a measurement begins.
+    q < 1/2. The slot decision rolls automatically when a measurement is
+    admitted (:meth:`begin_measurement`); :meth:`roll_slot` remains for
+    driving the behaviour by hand.
     """
 
     name = "selective-capacity"
@@ -119,6 +150,8 @@ class SelectiveCapacityRelayBehavior(RelayBehavior):
                  idle_fraction: float = 0.1, seed: int = 0):
         if not 0 <= active_fraction <= 1:
             raise ValueError("active fraction must be in [0, 1]")
+        if not 0 <= idle_fraction <= 1:
+            raise ValueError("idle fraction must be in [0, 1]")
         self.active_fraction = active_fraction
         self.idle_fraction = idle_fraction
         self._rng = random.Random(seed)
@@ -129,9 +162,17 @@ class SelectiveCapacityRelayBehavior(RelayBehavior):
         self._currently_active = self._rng.random() < self.active_fraction
         return self._currently_active
 
+    def begin_measurement(self, relay: Relay) -> None:
+        self.roll_slot()
+
     def capacity_factor(self, being_measured: bool, relay: Relay) -> float:
         del being_measured  # The relay cannot see the secret schedule.
         return 1.0 if self._currently_active else self.idle_fraction
+
+    def kernel_program(self) -> BehaviorProgram:
+        # The rolled capacity factor is slot-constant, so once
+        # begin_measurement has fired the walk itself is honest.
+        return BehaviorProgram()
 
 
 def make_sybil_flood(

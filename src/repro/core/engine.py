@@ -38,6 +38,7 @@ estimates and forgery detection are independent of the key bits; pass
 
 from __future__ import annotations
 
+import math
 import statistics
 import threading
 from dataclasses import dataclass, field
@@ -118,9 +119,21 @@ class MeasurementOutcome:
 
 
 def clamp_background(x_bits: float, y_bits: float, ratio: float) -> float:
-    """The BWAuth's normal-traffic clamp: y <= x * r / (1 - r) (§4.1)."""
+    """The BWAuth's normal-traffic clamp: y <= x * r / (1 - r) (§4.1).
+
+    ``y_bits`` is relay-controlled input (the claimed normal traffic), so
+    a non-finite claim is rejected outright rather than multiplied or
+    compared raw -- ``min(inf, 0 * r/(1-r))`` would quietly produce 0.0
+    while ``inf`` could leak through any x > 0 comparison as NaN fodder
+    downstream.
+    """
     if ratio >= 1:
         raise ValueError("ratio must be < 1")
+    if not math.isfinite(y_bits):
+        raise ValueError(
+            f"non-finite background report ({y_bits!r}): a relay's claimed "
+            "normal traffic must be a finite byte count"
+        )
     if ratio <= 0:
         return 0.0
     return min(y_bits, x_bits * ratio / (1.0 - ratio))
@@ -379,6 +392,12 @@ class MeasurementEngine:
                 ),
             )
 
+        # Slot-constant behaviour decisions (the selective-capacity roll)
+        # fire once per admitted measurement, before anything snapshots
+        # capacity; both the stateful and compiled paths pass through
+        # here, so behaviour RNG streams stay aligned by construction.
+        target.behavior.begin_measurement(target)
+
         socket_share = socket_share_for(params, len(active))
         env = min(
             noise.target_env_max,
@@ -494,6 +513,11 @@ class MeasurementEngine:
             max(0.3, gauss(1.0, noise_std))
             for _ in range(duration * n_profiles)
         ]
+        # Relay jitter is pre-drawn for the whole slot too, so the relay's
+        # RNG stream advances by exactly `duration` draws whether or not
+        # verification ends the slot early -- the same consumption as the
+        # compiled kernel walk, keeping both paths bit-aligned afterwards.
+        relay_noise = target.draw_noise_series(duration)
 
         session = spec.session
         measurer_names = [p.assignment.measurer.name for p in profiles]
@@ -520,6 +544,7 @@ class MeasurementEngine:
                 ratio_r=params.ratio,
                 n_measurement_sockets=params.n_sockets,
                 external_factor=plan.env,
+                noise=relay_noise[second],
             )
             x_bits = report.measurement_bytes * 8.0
             y_bits = report.background_reported_bytes * 8.0

@@ -13,9 +13,14 @@ This package is the execution layer beneath
 - :mod:`repro.kernel.backends` schedules the walks on a pluggable
   backend (``serial``/``thread``/``process``/``vector``).
 
-Specs the kernel cannot compile -- adversarial relay behaviours,
-transcript sessions -- fall back to the engine's stateful ``run`` path,
-preserving exact semantics for every spec.
+Relay behaviours compile through
+:meth:`repro.tornet.relay.RelayBehavior.kernel_program`: the honest
+default and the four common §5 attacks (traffic liar, ratio cheater,
+forger, selective capacity) all lower into the array walk. Specs the
+kernel cannot compile -- genuinely stateful custom behaviours (e.g. the
+cross-relay :class:`repro.attacks.CollusionBehavior`) and transcript
+sessions -- fall back to the engine's stateful ``run`` path, preserving
+exact semantics for every spec.
 
 Two more execution modes live here:
 
@@ -263,6 +268,20 @@ def run_specs(
             if result.total_bytes.size:
                 spec.target.settle_measured_walk(
                     result.total_bytes.tolist(), result.final_bucket_tokens
+                )
+                # The stateful walk notes every second's measurement
+                # traffic to the behaviour; only the last note survives
+                # as state, so settling it restores exact parity (the
+                # ratio cheater's claim ledger, notably).
+                spec.target.behavior.note_measurement(
+                    float(result.measurement[-1]) / 8.0, spec.target
+                )
+            if result.behavior_rng_state is not None:
+                # Forgers: the verification replay consumed the
+                # behaviour's RNG in a worker; write the advanced state
+                # (and any detected forgeries) back onto the live object.
+                spec.target.behavior.settle_verify_replay(
+                    result.behavior_rng_state, result.cells_forged
                 )
             results[result.index] = result.to_outcome()
     return results

@@ -27,9 +27,15 @@ results. The relay's stateful side effects (token bucket level,
 observed-bandwidth history) are settled back onto the live relay by the
 caller from the walk's results.
 
-Relays whose behaviour is not exactly honest, and specs carrying a
-transcript session, are *not* compilable: they return ``None`` and the
-caller falls back to the stateful :meth:`MeasurementEngine.run` path.
+Relay behaviours compile through the
+:meth:`repro.tornet.relay.RelayBehavior.kernel_program` protocol: any
+behaviour describing its walk as a :class:`repro.tornet.relay.\
+BehaviorProgram` -- the honest default and the four common §5 attacks
+(traffic liar, ratio cheater, forger, selective capacity) -- lowers into
+the array walk; behaviours returning ``None`` (genuinely stateful custom
+subclasses, e.g. cross-relay colluders), and specs carrying a transcript
+session, are *not* compilable: they return ``None`` here and the caller
+falls back to the stateful :meth:`MeasurementEngine.run` path.
 """
 
 from __future__ import annotations
@@ -48,6 +54,7 @@ from repro.core.engine import (
 from repro.netsim.latency import Path
 from repro.netsim.socketbuf import KernelConfig
 from repro.rng import seed_from
+from repro.tornet.relay import HONEST_PROGRAM, BehaviorProgram
 
 
 @dataclass(frozen=True)
@@ -87,7 +94,7 @@ class CompiledMeasurement:
 
     The measurement RNG state (for the supply-noise draws), ``noise_env``
     (relay jitter x environment factor), ``background`` and the
-    token-bucket snapshot fully determine the honest-relay walk; the
+    token-bucket snapshot fully determine the behaviour-program walk; the
     assignment cap series is recomputed from :class:`CompiledAssignment`
     wherever the measurement executes (cheap, pure, and keeps the
     pickled payload small).
@@ -125,6 +132,14 @@ class CompiledMeasurement:
     key_bytes: bytes | None
     #: Early result (admission refusal); skips execution entirely.
     outcome: MeasurementOutcome | None = None
+    #: The behaviour's closed-form walk (honest defaults for honest
+    #: relays; lane scalars for compiled attacks).
+    program: BehaviorProgram = HONEST_PROGRAM
+    #: ``random.Random`` state of the behaviour's own stream at slot
+    #: start (forgers only, verify on): the verification replay advances
+    #: a copy and the caller settles it back via
+    #: :meth:`RelayBehavior.settle_verify_replay`.
+    behavior_rng_state: tuple | None = None
 
     def caps_arrays(self) -> list[np.ndarray]:
         """Per-assignment effective cap series as float64 arrays."""
@@ -178,10 +193,17 @@ class CompiledMeasurement:
 
 
 def is_compilable(engine: MeasurementEngine, spec: MeasurementSpec) -> bool:
-    """Whether the kernel can reproduce this spec's walk in closed form."""
+    """Whether the kernel can reproduce this spec's walk in closed form.
+
+    A spec compiles when its behaviour publishes a
+    :class:`BehaviorProgram` (honest and the four common attacks);
+    behaviours whose :meth:`RelayBehavior.kernel_program` returns
+    ``None`` -- any custom subclass that does not opt in -- stay on the
+    stateful fallback, as do transcript sessions.
+    """
     if spec.session is not None:
         return False
-    if not spec.target.is_behaviorally_honest:
+    if spec.target.behavior.kernel_program() is None:
         return False
     if spec.verify and not engine.reuse_circuit_keys:
         # A per-measurement DH handshake is part of the stateful path's
@@ -290,6 +312,17 @@ def compile_measurement(
         p_check = None
         key_bytes = None
 
+    # The behaviour's closed-form walk; fetched after prepare_inputs so
+    # slot-constant decisions (begin_measurement's selective roll) have
+    # already landed in base_capacity. Forgers also ship their RNG state:
+    # the verification replay consumes forge decisions from a copy.
+    program = target.behavior.kernel_program()
+    behavior_rng_state = (
+        target.behavior._rng.getstate()
+        if program.forge_fraction is not None and spec.verify
+        else None
+    )
+
     return CompiledMeasurement(
         index=index,
         fingerprint=target.fingerprint,
@@ -309,4 +342,6 @@ def compile_measurement(
         p_check=p_check,
         verify_seed=seed_from(spec.seed, f"verify-{target.fingerprint}"),
         key_bytes=key_bytes,
+        program=program,
+        behavior_rng_state=behavior_rng_state,
     )

@@ -171,7 +171,10 @@ def execute_batch_shm(payload):
 
     Returns one scalar-only result skeleton per measurement:
     ``(index, estimate, cells_checked, duration, total_allocated,
-    has_arrays, final_bucket_tokens, outcome)``.
+    has_arrays, final_bucket_tokens, outcome, failed, failure_reason,
+    cells_forged, behavior_rng_state)``. ``duration`` may be shorter
+    than the packed slot on a verification failure; the result arrays
+    then occupy the first ``duration`` elements of each output slot.
     """
     name, metas = payload
     block = shared_memory.SharedMemory(name=name)
@@ -216,6 +219,7 @@ def _execute_attached(block, metas):
     light = []
     for result, (skeleton, arr_off, _, _, _) in zip(results, metas):
         d = skeleton.duration
+        dur = result.duration  # < d when verification failed the slot
         has_arrays = bool(result.total_bytes.size)
         if has_arrays:
             out = np.ndarray(
@@ -225,7 +229,7 @@ def _execute_attached(block, metas):
                 offset=arr_off + 2 * d * 8,
             )
             for k, name in enumerate(RESULT_ARRAY_FIELDS):
-                out[k * d:(k + 1) * d] = getattr(result, name)
+                out[k * d:k * d + dur] = getattr(result, name)
             del out
         light.append(
             (
@@ -237,6 +241,10 @@ def _execute_attached(block, metas):
                 has_arrays,
                 result.final_bucket_tokens,
                 result.outcome,
+                result.failed,
+                result.failure_reason,
+                result.cells_forged,
+                result.behavior_rng_state,
             )
         )
         # Drop the views before the caller closes the mapping.
@@ -251,7 +259,8 @@ def unpack_chunk(light, handle: ShmChunk) -> list[KernelResult]:
     try:
         for row, (arr_off, d) in zip(light, handle.layout):
             (index, estimate, cells_checked, duration, total_allocated,
-             has_arrays, final_bucket_tokens, outcome) = row
+             has_arrays, final_bucket_tokens, outcome, failed,
+             failure_reason, cells_forged, behavior_rng_state) = row
             arrays = {}
             if has_arrays:
                 out = np.ndarray(
@@ -261,7 +270,7 @@ def unpack_chunk(light, handle: ShmChunk) -> list[KernelResult]:
                     offset=arr_off + 2 * d * 8,
                 )
                 for k, name in enumerate(RESULT_ARRAY_FIELDS):
-                    arrays[name] = out[k * d:(k + 1) * d].copy()
+                    arrays[name] = out[k * d:k * d + duration].copy()
                 del out
             results.append(
                 KernelResult(
@@ -272,6 +281,10 @@ def unpack_chunk(light, handle: ShmChunk) -> list[KernelResult]:
                     total_allocated=total_allocated,
                     final_bucket_tokens=final_bucket_tokens,
                     outcome=outcome,
+                    failed=failed,
+                    failure_reason=failure_reason,
+                    cells_forged=cells_forged,
+                    behavior_rng_state=behavior_rng_state,
                     **arrays,
                 )
             )

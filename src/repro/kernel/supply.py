@@ -10,13 +10,25 @@ measurements at once. Every operation mirrors the exact arithmetic of
 :meth:`repro.core.engine.MeasurementEngine.execute`, in the same order,
 so each element of the walk is bit-identical to the stateful path.
 
+Adversarial behaviours compiled through
+:class:`repro.tornet.relay.BehaviorProgram` run in the same walk as
+separate lanes: non-ratio-enforcing relays take the
+``measured_second`` else-branch split, liars scale the reported
+background, and ratio cheaters derive their claim from measurement
+traffic -- each lane's op chain mirrors the stateful behaviour hook
+exactly, selected per measurement with ``np.where``.
+
 Echo-cell verification is replayed afterwards from the walk's
 measurement series: the per-second sample counts consume the
 measurement's ``verify-*`` RNG stream exactly as
 :class:`repro.core.verification.EchoVerifier` would, and each sampled
 cell performs the honest encrypt/echo/compare round trip with the real
 circuit key, so ``cells_checked`` (and the simulated crypto work) match
-the stateful path. Honest relays by construction never fail the check.
+the stateful path. Honest relays by construction never fail the check;
+forging relays replay their forge decisions from the behaviour's
+compiled RNG state, and the first forged checked cell fails the
+measurement exactly as the stateful :class:`EchoVerifier` would
+(truncated series, zero estimate, the same failure message).
 
 The walk returns, besides the outcome, the relay-state deltas (final
 bucket tokens, per-second forwarded bytes) the caller settles back onto
@@ -93,6 +105,13 @@ class KernelResult:
     final_bucket_tokens: float | None = None
     #: Pass-through outcome (admission refusal): no walk was executed.
     outcome: MeasurementOutcome | None = None
+    #: Verification replay failed the slot (a forged checked cell).
+    failed: bool = False
+    failure_reason: str | None = None
+    #: Forged cells detected by the replay (settled back onto the
+    #: behaviour together with its advanced RNG state).
+    cells_forged: int = 0
+    behavior_rng_state: tuple | None = None
 
     def to_outcome(self) -> MeasurementOutcome:
         """Materialise the walk into the engine's outcome type."""
@@ -106,14 +125,29 @@ class KernelResult:
             per_second_total=self.totals.tolist(),
             total_allocated=self.total_allocated,
             duration=self.duration,
+            failed=self.failed,
+            failure_reason=self.failure_reason,
             cells_checked=self.cells_checked,
         )
 
 
+@dataclass
+class _ReplayResult:
+    """What the verification replay observed for one measurement."""
+
+    cells_checked: int = 0
+    #: Second of the first forged checked cell; None = slot passed.
+    fail_second: int | None = None
+    failure_reason: str | None = None
+    cells_forged: int = 0
+    #: Behaviour RNG state after the replay (forgers only).
+    behavior_rng_state: tuple | None = None
+
+
 def _verify_replay(
     cm: CompiledMeasurement, measurement_bits: Sequence[float]
-) -> int:
-    """Replay per-second echo-cell verification; returns cells checked.
+) -> _ReplayResult:
+    """Replay per-second echo-cell verification.
 
     Consumes the ``verify-*`` stream exactly like
     ``EchoVerifier.verify_second`` + ``check_cells``: one sample-count
@@ -121,24 +155,56 @@ def _verify_replay(
     cell. An honest relay's echo is *defined* as the local decryption,
     so the measurer-side comparison would compare the decryption against
     itself; the replay performs the decryption work once and counts the
-    cell as checked -- same cells checked, no possible failure (which is
-    why only honest relays compile; anything else runs the stateful
-    :class:`EchoVerifier` path).
+    cell as checked -- same cells checked, no possible failure.
+
+    Forging behaviours draw their per-cell forge decision from the
+    behaviour RNG state compiled into the measurement, in the stateful
+    stream order (one ``random()`` per checked cell, plus the forged
+    payload's ``randbytes`` on a forge). A forged 509-byte payload
+    collides with the expected decryption with probability 2^-4072, so
+    the replay treats detection as certain -- the same rounding the
+    paper's (1-p)^k evasion bound makes -- and fails the slot at that
+    cell with the stateful verifier's message.
     """
     if cm.p_check is None:
-        return 0
+        return _ReplayResult()
     rng = random.Random(cm.verify_seed)
     key = _circuit_key(cm.key_bytes)
+    forge_fraction = cm.program.forge_fraction
+    behavior_rng: random.Random | None = None
+    if forge_fraction is not None and cm.behavior_rng_state is not None:
+        behavior_rng = random.Random()
+        behavior_rng.setstate(cm.behavior_rng_state)
     cells_checked = 0
     next_cell_index = 0
-    for x_bits in list(measurement_bits):
+    for second, x_bits in enumerate(list(measurement_bits)):
         cells_sent = int(bits_to_bytes(x_bits) // CELL_LEN)
         count = sample_cell_count(rng, cells_sent, cm.p_check)
         for _ in range(count):
-            key.process(os.urandom(PAYLOAD_LEN), next_cell_index)
-            cells_checked += 1
+            index = next_cell_index
             next_cell_index += 1
-    return cells_checked
+            key.process(os.urandom(PAYLOAD_LEN), index)
+            cells_checked += 1
+            if (
+                behavior_rng is not None
+                and behavior_rng.random() < forge_fraction
+            ):
+                behavior_rng.randbytes(PAYLOAD_LEN)
+                return _ReplayResult(
+                    cells_checked=cells_checked,
+                    fail_second=second,
+                    failure_reason=(
+                        f"echo cell {index} failed content check"
+                    ),
+                    cells_forged=1,
+                    behavior_rng_state=behavior_rng.getstate(),
+                )
+    return _ReplayResult(
+        cells_checked=cells_checked,
+        behavior_rng_state=(
+            behavior_rng.getstate() if behavior_rng is not None else None
+        ),
+    )
 
 
 def _walk_group(
@@ -164,12 +230,34 @@ def _walk_group(
         [cm.bucket[2] if cm.bucket else 0.0 for cm in cms], dtype=np.float64
     )
 
+    # Behaviour-program lanes. The all-defaults case keeps the historical
+    # honest walk untouched; mixed groups compute both splits and select
+    # per lane with np.where (each lane's op chain is bit-identical to
+    # its stateful behaviour hook).
+    enforces = np.array([cm.program.enforces_ratio for cm in cms])
+    bg_scale = np.array(
+        [cm.program.background_report_scale for cm in cms], dtype=np.float64
+    )
+    has_claim = np.array(
+        [cm.program.measurement_claim_factor is not None for cm in cms]
+    )
+    claim_factor = np.array(
+        [cm.program.measurement_claim_factor or 0.0 for cm in cms],
+        dtype=np.float64,
+    )
+    honest_split = bool(enforces.all())
+    any_claim = bool(has_claim.any())
+
     xs = np.empty((n, duration))
     ys_raw = np.empty((n, duration))
     ys_clamped = np.empty((n, duration))
     zs = np.empty((n, duration))
     caps_out = np.empty((n, duration))
     total_bytes = np.empty((n, duration))
+    # Per-second bucket-fill history: a verification failure truncates
+    # the slot mid-walk, and the relay's final token level is the fill
+    # after the failing second's settlement.
+    tokens_history = np.empty((n, duration)) if any_bucket else None
 
     for second in range(duration):
         # Relay.measured_second: capacity = min(base, bucket peek), then
@@ -183,14 +271,30 @@ def _walk_group(
             capacity = base
         capacity = capacity * noise_env[:, second]
 
-        # Honest ratio-r split (the enforces_ratio() branch).
+        # Capacity split between measurement and background traffic.
         demand = bg_demand[:, second]
-        background = np.minimum(demand, ratio * capacity)
-        measurement = np.minimum(supply[:, second], capacity - background)
-        background = np.minimum(
-            background, measurement * ratio / one_minus_r
-        )
-        measurement = np.minimum(supply[:, second], capacity - background)
+        supply_s = supply[:, second]
+        if honest_split:
+            # Honest ratio-r split (the enforces_ratio() branch).
+            background = np.minimum(demand, ratio * capacity)
+            measurement = np.minimum(supply_s, capacity - background)
+            background = np.minimum(
+                background, measurement * ratio / one_minus_r
+            )
+            measurement = np.minimum(supply_s, capacity - background)
+        else:
+            bg_h = np.minimum(demand, ratio * capacity)
+            meas_h = np.minimum(supply_s, capacity - bg_h)
+            bg_h = np.minimum(bg_h, meas_h * ratio / one_minus_r)
+            meas_h = np.minimum(supply_s, capacity - bg_h)
+            # Ratio-ignoring lanes: everything to measurement traffic
+            # (measured_second's else-branch).
+            meas_n = np.minimum(supply_s, capacity)
+            bg_n = np.minimum(
+                demand, np.maximum(0.0, capacity - meas_n)
+            )
+            measurement = np.where(enforces, meas_h, meas_n)
+            background = np.where(enforces, bg_h, bg_n)
 
         total_bits = measurement + background
         if any_bucket:
@@ -198,12 +302,22 @@ def _walk_group(
                 tokens, rate, burst, total_bits / 8.0
             )
             tokens = np.where(has_bucket, new_tokens, tokens)
+            tokens_history[:, second] = tokens
 
-        # Engine-side accounting: byte round trips and the BWAuth clamp,
-        # op for op (the /8*8 chains are exact in IEEE-754 but are kept
-        # anyway so every intermediate matches the stateful path).
+        # Engine-side accounting: byte round trips, the behaviour's
+        # background report, and the BWAuth clamp, op for op (the /8*8
+        # chains and the honest *1.0 report scale are exact in IEEE-754
+        # but are kept anyway so every intermediate matches the stateful
+        # path: reported = report_background(background/8.0) * 8.0).
         meas_bytes = measurement / 8.0
-        reported_bytes = ((background / 8.0) * 8.0) / 8.0
+        reported = (background / 8.0) * bg_scale
+        if any_claim:
+            # Ratio cheaters report the full claimed allowance derived
+            # from the measurement traffic they forwarded.
+            reported = np.where(
+                has_claim, meas_bytes * claim_factor, reported
+            )
+        reported_bytes = (reported * 8.0) / 8.0
         x_bits = meas_bytes * 8.0
         y_bits = reported_bytes * 8.0
         y_clamped = np.minimum(y_bits, x_bits * ratio / one_minus_r)
@@ -215,13 +329,53 @@ def _walk_group(
         caps_out[:, second] = capacity
         total_bytes[:, second] = total_bits / 8.0
 
+    # The stateful clamp_background choke point rejects non-finite
+    # claimed reports; mirror it here so a bad program can't smuggle
+    # inf/NaN past the vectorized clamp.
+    if not np.isfinite(ys_raw).all():
+        raise ValueError(
+            "non-finite background report in compiled walk: a relay's "
+            "claimed normal traffic must be a finite byte count"
+        )
+
     results = []
     for i, cm in enumerate(cms):
+        replay = _verify_replay(cm, xs[i])
+        if replay.fail_second is not None:
+            # The BWAuth ends the measurement early (paper §4.1): series
+            # truncate after the failing second, the estimate is zero,
+            # and the relay's bucket settles at that second's fill.
+            end = replay.fail_second + 1
+            results.append(
+                KernelResult(
+                    index=cm.index,
+                    estimate=0.0,
+                    cells_checked=replay.cells_checked,
+                    duration=end,
+                    total_allocated=cm.total_allocated,
+                    measurement=xs[i, :end],
+                    background_reported=ys_raw[i, :end],
+                    background_clamped=ys_clamped[i, :end],
+                    totals=zs[i, :end],
+                    capacity_bits=caps_out[i, :end],
+                    total_bytes=total_bytes[i, :end],
+                    final_bucket_tokens=(
+                        float(tokens_history[i, end - 1])
+                        if cm.bucket is not None
+                        else None
+                    ),
+                    failed=True,
+                    failure_reason=replay.failure_reason,
+                    cells_forged=replay.cells_forged,
+                    behavior_rng_state=replay.behavior_rng_state,
+                )
+            )
+            continue
         results.append(
             KernelResult(
                 index=cm.index,
                 estimate=float(statistics.median(zs[i].tolist())),
-                cells_checked=_verify_replay(cm, xs[i]),
+                cells_checked=replay.cells_checked,
                 duration=duration,
                 total_allocated=cm.total_allocated,
                 measurement=xs[i],
@@ -233,6 +387,7 @@ def _walk_group(
                 final_bucket_tokens=(
                     float(tokens[i]) if cm.bucket is not None else None
                 ),
+                behavior_rng_state=replay.behavior_rng_state,
             )
         )
     return results

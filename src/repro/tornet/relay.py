@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.netsim.hosts import Host
 from repro.tornet.cell import Cell
@@ -30,6 +31,45 @@ from repro.tornet.observedbw import ObservedBandwidth
 from repro.tornet.relaycrypto import CircuitKey
 from repro.tornet.tokenbucket import TokenBucket
 from repro.rng import fork
+
+
+@dataclass(frozen=True)
+class BehaviorProgram:
+    """A behaviour's per-measurement walk, reduced to closed form.
+
+    The vectorized kernel (``repro.kernel``) cannot call back into a
+    behaviour object per second, so behaviours that are *stateless within
+    one measurement slot* describe themselves as a small set of scalars
+    the array walk applies lane-wise. The defaults encode the honest
+    behaviour; each scalar maps to one hook:
+
+    - ``enforces_ratio`` -- :meth:`RelayBehavior.enforces_ratio`;
+    - ``background_report_scale`` -- an honest-shaped
+      :meth:`RelayBehavior.report_background` returning
+      ``actual_bytes * scale``;
+    - ``measurement_claim_factor`` -- a report derived from measurement
+      traffic instead: ``measurement_bytes * factor`` (overrides the
+      scale when set; the ratio-cheater's claimed allowance);
+    - ``forge_fraction`` -- :meth:`RelayBehavior.echo_payload` forging
+      with this probability per checked cell, drawn from the behaviour's
+      seeded RNG (replayed by the kernel's verification pass).
+
+    Capacity shaping (:meth:`RelayBehavior.capacity_factor`) needs no
+    field: it is slot-constant, so it folds into the compiled base
+    capacity. Per-slot decisions (the selective-capacity roll) happen in
+    :meth:`RelayBehavior.begin_measurement` before compilation snapshots
+    the relay.
+    """
+
+    enforces_ratio: bool = True
+    background_report_scale: float = 1.0
+    measurement_claim_factor: float | None = None
+    forge_fraction: float | None = None
+
+
+#: The honest program -- shared so compiled measurements of honest relays
+#: don't allocate a fresh (identical) instance each.
+HONEST_PROGRAM = BehaviorProgram()
 
 
 class RelayBehavior:
@@ -53,6 +93,50 @@ class RelayBehavior:
     def enforces_ratio(self) -> bool:
         """Whether the relay honours the normal-traffic ratio ``r``."""
         return True
+
+    # ------------------------------------------------------------------
+    # Kernel-compilation protocol (repro.kernel)
+    # ------------------------------------------------------------------
+
+    def kernel_program(self) -> Optional[BehaviorProgram]:
+        """This behaviour's closed-form walk, or ``None`` if stateful.
+
+        The base class answers for the *exact* honest type only: an
+        unknown subclass inheriting this implementation must never
+        silently compile as honest, so anything other than a plain
+        ``RelayBehavior`` returns ``None`` (stateful fallback) unless it
+        overrides this hook itself.
+        """
+        return HONEST_PROGRAM if type(self) is RelayBehavior else None
+
+    def begin_measurement(self, relay: "Relay") -> None:
+        """Per-slot setup, called once when a measurement is admitted.
+
+        Runs before the kernel snapshots relay state, so slot-constant
+        decisions (e.g. the selective-capacity coin flip) land in the
+        compiled base capacity. Both the stateful and compiled paths call
+        this at the same point, keeping behaviour RNG streams aligned.
+        """
+
+    def note_measurement(self, measurement_bytes: float, relay: "Relay") -> None:
+        """Observe this second's measurement traffic (before reporting).
+
+        Called each measured second with the bytes of measurement traffic
+        the relay just forwarded; behaviours whose background report is
+        derived from measurement traffic (the ratio cheater, colluders)
+        record it here.
+        """
+
+    def settle_verify_replay(
+        self, rng_state: object, cells_forged: int
+    ) -> None:
+        """Apply the state effects of a kernel-side verification replay.
+
+        The kernel replays echo-cell forgery decisions on a copy of the
+        behaviour's RNG; this hook writes back the advanced RNG state and
+        the forged-cell count so subsequent stateful use is bit-identical
+        to having run the slot in-process.
+        """
 
 
 @dataclass
@@ -237,10 +321,11 @@ class Relay:
     def is_behaviorally_honest(self) -> bool:
         """True when the behaviour is exactly the honest default.
 
-        The vectorized measurement kernel compiles only relays whose
-        per-second walk it can reproduce in closed form; any behaviour
-        subclass (lying, forging, selective capacity) falls back to the
-        stateful :meth:`measured_second` path.
+        The vectorized kernel compiles any behaviour exposing a
+        :class:`BehaviorProgram` (honest and the four common attacks);
+        genuinely stateful custom behaviours -- those whose
+        :meth:`RelayBehavior.kernel_program` returns ``None`` -- fall
+        back to the stateful :meth:`measured_second` path.
         """
         return type(self.behavior) is RelayBehavior
 
@@ -317,6 +402,7 @@ class Relay:
         n_background_sockets: int = 20,
         t: int | None = None,
         external_factor: float = 1.0,
+        noise: float | None = None,
     ) -> SecondReport:
         """One second of a measurement slot at this relay.
 
@@ -326,6 +412,9 @@ class Relay:
         for normal traffic. ``external_factor`` scales capacity for
         environment effects outside the relay's control (cross traffic,
         time-of-day congestion) sampled per measurement by the caller.
+        ``noise`` substitutes a pre-drawn jitter factor (from
+        :meth:`draw_noise_series`) for the stateful draw, letting callers
+        fix the whole slot's RNG consumption up front.
         """
         if not 0 <= ratio_r < 1:
             raise ValueError("ratio r must be in [0, 1)")
@@ -339,7 +428,7 @@ class Relay:
             # settled below against bytes actually forwarded, so an
             # under-supplied second leaves the burst allowance intact.
             capacity = min(capacity, self._bucket.available_second() * 8.0)
-        capacity *= self._noise() * external_factor
+        capacity *= (self._noise() if noise is None else noise) * external_factor
 
         # Allocate capacity between measurement and normal traffic.
         if self.behavior.enforces_ratio():
@@ -358,6 +447,7 @@ class Relay:
                 background_demand_bits, max(0.0, capacity - measurement)
             )
 
+        self.behavior.note_measurement(measurement / 8.0, self)
         reported = self.behavior.report_background(background / 8.0, self) * 8.0
         total_bits = measurement + background
         if self._bucket is not None:

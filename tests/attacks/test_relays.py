@@ -1,11 +1,13 @@
 """Tests for malicious relay behaviours end to end (paper §5)."""
 
+import math
 import statistics
 
 import pytest
 
 from repro import quick_team
 from repro.attacks.analysis import selective_capacity_failure_probability
+from repro.core.engine import clamp_background
 from repro.attacks.relays import (
     ForgingRelayBehavior,
     RatioCheatingRelayBehavior,
@@ -30,11 +32,64 @@ def test_traffic_liar_reports_inflated():
 def test_traffic_liar_validation():
     with pytest.raises(ValueError):
         TrafficLiarRelayBehavior(lie_factor=0.5)
+    with pytest.raises(ValueError):
+        TrafficLiarRelayBehavior(lie_factor=float("inf"))
+    with pytest.raises(ValueError):
+        TrafficLiarRelayBehavior(lie_factor=float("nan"))
 
 
 def test_ratio_cheater_ignores_ratio():
     behavior = RatioCheatingRelayBehavior()
     assert not behavior.enforces_ratio()
+
+
+def test_ratio_cheater_reports_finite_claimed_allowance():
+    """Regression: the claim is x * r/(1-r), never float('inf')."""
+    behavior = RatioCheatingRelayBehavior(claimed_ratio=0.25)
+    relay = Relay.with_capacity("c", mbit(100), behavior=behavior)
+    behavior.note_measurement(1200.0, relay)
+    claim = behavior.report_background(0.0, relay)
+    assert math.isfinite(claim)
+    assert claim == 1200.0 * (0.25 / (1.0 - 0.25))
+    # Before any measurement traffic is observed the claim is zero.
+    fresh = RatioCheatingRelayBehavior()
+    assert fresh.report_background(50.0, relay) == 0.0
+
+
+def test_clamp_rejects_non_finite_reports():
+    """The BWAuth choke point refuses inf/NaN claimed traffic."""
+    assert clamp_background(800.0, 100.0, 0.25) == 100.0
+    with pytest.raises(ValueError, match="non-finite background report"):
+        clamp_background(800.0, float("inf"), 0.25)
+    with pytest.raises(ValueError, match="non-finite background report"):
+        clamp_background(0.0, float("nan"), 0.25)
+
+
+def test_forged_payloads_deterministic_under_seed():
+    """Regression: forged cell content comes from the seeded behaviour
+    RNG, so two same-seed runs produce identical transcripts."""
+
+    def transcript(seed):
+        behavior = ForgingRelayBehavior(forge_fraction=1.0, seed=seed)
+        relay = Relay.with_capacity("f", mbit(100), behavior=behavior)
+        return [behavior.echo_payload(b"\x00" * 509, relay) for _ in range(4)]
+
+    assert transcript(21) == transcript(21)
+    assert transcript(21) != transcript(22)
+
+
+def test_forger_outcome_deterministic_under_seed(params):
+    """Two same-seed forger measurements are `==` end to end."""
+
+    def run():
+        auth = quick_team(seed=77)
+        forger = Relay.with_capacity(
+            "f", mbit(400), behavior=ForgingRelayBehavior(seed=9), seed=11
+        )
+        estimate = auth.measure_relay(forger, initial_estimate=mbit(400))
+        return (estimate.capacity, estimate.failed, estimate.failure_reason)
+
+    assert run() == run()
 
 
 def test_inflation_bound_holds_end_to_end(team_auth, params):
@@ -81,7 +136,8 @@ def test_selective_capacity_median_defeats(team_auth):
     votes = {}
     for bwauth_index in range(n_bwauths):
         auth = quick_team(seed=100 + bwauth_index)
-        behavior.roll_slot()  # the relay gambles blindly each slot
+        # The relay gambles blindly each slot: begin_measurement rolls
+        # automatically when the measurement is admitted.
         estimate = auth.measure_relay(
             relay, initial_estimate=capacity, seed_offset=bwauth_index
         )
@@ -140,3 +196,14 @@ def test_forge_fraction_validation():
 def test_selective_fraction_validation():
     with pytest.raises(ValueError):
         SelectiveCapacityRelayBehavior(active_fraction=1.5)
+
+
+def test_selective_idle_fraction_validation():
+    """Regression: idle_fraction is validated like active_fraction."""
+    with pytest.raises(ValueError):
+        SelectiveCapacityRelayBehavior(idle_fraction=-0.01)
+    with pytest.raises(ValueError):
+        SelectiveCapacityRelayBehavior(idle_fraction=1.01)
+    # Both boundaries are legal (always-dark and no-throttle relays).
+    assert SelectiveCapacityRelayBehavior(idle_fraction=0.0).idle_fraction == 0.0
+    assert SelectiveCapacityRelayBehavior(idle_fraction=1.0).idle_fraction == 1.0

@@ -1,0 +1,143 @@
+"""Attack scenarios vs the §5 inflation bound, and the sweep helper.
+
+Every registry attack scenario must keep ``estimate/truth`` for every
+adversarial relay under ``1/(1-r)`` (plus a small noise slack) -- the
+paper's central security claim -- while the identical lie against
+TorFlow's self-report scaling inflates by the full claimed factor.
+"""
+
+import pytest
+
+from repro.api.scenarios import get_scenario, run_scenario
+from repro.attacks import (
+    CollusionBehavior,
+    CollusionFactory,
+    inflation_bound,
+    inflation_sweep,
+    torflow_self_report_attack,
+)
+from repro.core.engine import MeasurementEngine
+from repro.core.params import FlashFlowParams
+
+#: Noise slack: env/socket jitter moves estimates a few percent.
+SLACK = 1.08
+
+ATTACK_RUNS = [
+    ("inflation-attack", {}),
+    ("inflation-attack", {"behavior": "traffic-liar"}),
+    ("inflation-attack", {"behavior": "forger"}),
+    ("inflation-attack", {"behavior": "selective-capacity"}),
+    ("collusion-attack", {}),
+    ("inflation-sweep", {}),
+    ("inflation-sweep", {"behavior": "collusion", "adversary_fraction": 0.5}),
+]
+
+
+@pytest.mark.parametrize("name,overrides", ATTACK_RUNS)
+def test_every_attack_scenario_respects_the_inflation_bound(name, overrides):
+    report = run_scenario(name, n_relays=12, **overrides)
+    inflations = report.adversary_inflation()
+    assert inflations, "scenario assigned no adversaries"
+    bound = inflation_bound(FlashFlowParams().ratio)
+    for fp, inflation in inflations.items():
+        assert inflation <= bound * SLACK, (name, fp, inflation)
+
+
+def test_collusion_inflates_but_stays_bounded():
+    """The pooled claims do inflate (the attack is real) yet the
+    per-relay clamp keeps every colluder under 1/(1-r)."""
+    report = run_scenario("collusion-attack", n_relays=12)
+    inflations = report.adversary_inflation()
+    bound = inflation_bound(FlashFlowParams().ratio)
+    assert max(inflations.values()) > 1.05
+    assert max(inflations.values()) <= bound * SLACK
+
+
+def test_collusion_cliques_form_and_fold_singletons():
+    """5 colluders at group_size 2 -> cliques of 2 and 3 (finalize
+    folds the trailing singleton); every member shares its ledger."""
+    scenario = get_scenario(
+        "collusion-attack", n_relays=10, adversary_fraction=0.5
+    )
+    resolved = scenario.resolve()
+    behaviors = [
+        resolved.network[fp].behavior for fp in resolved.adversaries
+    ]
+    assert len(behaviors) == 5
+    assert all(isinstance(b, CollusionBehavior) for b in behaviors)
+    groups = {id(b._group): b._group for b in behaviors}
+    assert sorted(len(g.members) for g in groups.values()) == [2, 3]
+    for group in groups.values():
+        for member in group.members:
+            assert member._group is group
+
+
+def test_resolving_twice_never_shares_ledgers():
+    scenario = get_scenario("collusion-attack", n_relays=8)
+    first = scenario.resolve()
+    second = scenario.resolve()
+    groups_first = {
+        id(first.network[fp].behavior._group) for fp in first.adversaries
+    }
+    groups_second = {
+        id(second.network[fp].behavior._group) for fp in second.adversaries
+    }
+    assert not groups_first & groups_second
+
+
+def test_collusion_stays_on_the_stateful_path():
+    """Cross-relay state cannot lower into the per-relay kernel."""
+    behavior = CollusionBehavior()
+    assert behavior.kernel_program() is None
+    # And through the real compile gate:
+    from repro import quick_team
+    from repro.core.allocation import allocate_capacity
+    from repro.core.engine import MeasurementSpec
+    from repro.kernel import is_compilable
+    from repro.tornet.relay import Relay
+    from repro.units import mbit
+
+    team = quick_team(seed=3).team
+    relay = Relay.with_capacity("c", mbit(100), seed=1, behavior=behavior)
+    spec = MeasurementSpec(
+        target=relay,
+        assignments=allocate_capacity(team, mbit(300)),
+        params=FlashFlowParams(),
+        seed=2,
+        enforce_admission=False,
+    )
+    assert not is_compilable(MeasurementEngine(), spec)
+
+
+def test_collusion_factory_validation():
+    with pytest.raises(ValueError):
+        CollusionFactory(group_size=1)
+
+
+def test_collusion_report_pools_peer_measurement_bytes():
+    factory = CollusionFactory(group_size=2)
+    a, b = factory(0), factory(1)
+    a.note_measurement(1000.0, relay=None)
+    b.note_measurement(400.0, relay=None)
+    # Each claims its real traffic plus the peer's measurement bytes.
+    assert a.report_background(50.0, relay=None) == 50.0 + 400.0
+    assert b.report_background(0.0, relay=None) == 1000.0
+
+
+def test_inflation_sweep_helper():
+    points = inflation_sweep(
+        behaviors=("ratio-cheater", "collusion"),
+        fractions=(0.25,),
+        n_relays=8,
+    )
+    assert len(points) == 2
+    for point in points:
+        assert point.n_adversaries >= 1
+        assert point.within_bound
+        assert point.max_inflation <= point.bound * SLACK
+        # The same lie against TorFlow's self-report scaling is
+        # unbounded: a 100x claim yields 100x weight.
+        assert point.torflow_inflation == torflow_self_report_attack(
+            1.0, 100.0
+        )
+        assert point.torflow_inflation > point.bound * 10

@@ -4,8 +4,9 @@ The contract: for honest relays, compiling a spec and executing it as a
 vectorized array walk produces *bit-identical* outcomes and relay state
 to the stateful ``MeasurementEngine.run`` path, and the compiled
 capacity series matches a raw ``Relay.measured_second`` oracle walk
-exactly. Non-honest relays and transcript sessions must refuse to
-compile.
+exactly. Behaviours without a kernel program (custom stateful
+subclasses) and transcript sessions must refuse to compile; the
+compiled-adversary oracle suite lives in ``test_adversary_compile.py``.
 """
 
 import numpy as np
@@ -19,7 +20,7 @@ from repro.core.params import FlashFlowParams
 from repro.kernel import compile_measurement, execute_batch, execute_compiled, is_compilable
 from repro.netsim.latency import NetworkModel
 from repro.rng import fork
-from repro.tornet.relay import Relay
+from repro.tornet.relay import Relay, RelayBehavior
 from repro.units import mbit
 
 
@@ -232,15 +233,44 @@ def test_admission_refusal_compiles_to_failed_outcome(team):
     assert result.total_bytes.size == 0
 
 
-def test_adversarial_and_session_specs_do_not_compile(team):
+def test_only_stateful_custom_behaviors_refuse_to_compile(team):
+    """The four common attacks compile; unknown subclasses never do."""
     params = FlashFlowParams()
     engine = MeasurementEngine()
-    liar = _relay(12, 200, behavior=TrafficLiarRelayBehavior())
-    assert not is_compilable(engine, _spec(liar, team, params, seed=1))
-    assert compile_measurement(engine, _spec(liar, team, params, seed=1)) is None
 
-    honest_spec = _spec(_relay(13, 200), team, params, seed=2)
-    assert is_compilable(engine, honest_spec)
+    # Program-carrying behaviours (honest + the four §5 attacks) compile.
+    from repro.attacks.relays import (
+        ForgingRelayBehavior,
+        RatioCheatingRelayBehavior,
+        SelectiveCapacityRelayBehavior,
+    )
+
+    for i, behavior in enumerate(
+        [
+            None,
+            TrafficLiarRelayBehavior(),
+            RatioCheatingRelayBehavior(),
+            ForgingRelayBehavior(seed=3),
+            SelectiveCapacityRelayBehavior(seed=4),
+        ]
+    ):
+        relay = _relay(12 + i, 200, behavior=behavior)
+        assert is_compilable(engine, _spec(relay, team, params, seed=1))
+
+    # A custom subclass inheriting the honest hooks must NOT silently
+    # compile as honest: kernel_program answers for the exact base type
+    # only.
+    class CustomBehavior(RelayBehavior):
+        name = "custom"
+
+    custom = _relay(20, 200, behavior=CustomBehavior())
+    assert custom.behavior.kernel_program() is None
+    assert not is_compilable(engine, _spec(custom, team, params, seed=1))
+    assert (
+        compile_measurement(engine, _spec(custom, team, params, seed=1))
+        is None
+    )
+
     session_spec = _spec(_relay(14, 200), team, params, seed=3, session=object())
     assert not is_compilable(engine, session_spec)
 

@@ -1187,7 +1187,51 @@ def run_benches(repeats: int) -> dict:
     report["stage_breakdown"] = measure_stages(repeats)
     report["service"] = measure_service(repeats)
     report["attacks"] = measure_attacks(repeats)
+    report["lint"] = measure_lint(repeats)
     return report
+
+
+def measure_lint(repeats: int) -> dict:
+    """Full-tree wall time of the determinism & layering lint.
+
+    Times ``repro.analysis`` (parse + all rules + suppression filter +
+    baseline match) over the whole ``src/`` tree -- the exact work the
+    CI ``lint`` job does on every push. Budget: the full tree must lint
+    in under 5 seconds, so the lint stays cheap enough to run locally
+    before every commit rather than only in CI.
+    """
+    from repro.analysis import load_baseline, match_baseline, run_paths
+
+    root = pathlib.Path(__file__).resolve().parents[1]
+    src = root / "src"
+    baseline_path = root / ".ff-lint-baseline.json"
+    best = float("inf")
+    for _ in range(repeats):
+        seconds, findings = _timed(
+            "bench.lint_tree", lambda: run_paths([src], root=root)
+        )
+        best = min(best, seconds)
+    entries = load_baseline(baseline_path)
+    new, matched, stale = match_baseline(findings, entries)
+    if new or stale:
+        raise SystemExit(
+            f"lint bench: tree is not clean ({len(new)} new, "
+            f"{len(stale)} stale) -- fix or --update-baseline first"
+        )
+    n_files = sum(1 for _ in src.rglob("*.py"))
+    if best >= 5.0:
+        raise SystemExit(
+            f"lint bench: full tree took {best:.2f}s (>= 5s budget)"
+        )
+    return {
+        "generated_unix": int(time.time()),
+        "repeats": repeats,
+        "files_linted": n_files,
+        "wall_seconds_full_tree": round(best, 4),
+        "files_per_second": round(n_files / best, 1),
+        "findings_baselined": len(matched),
+        "budget_seconds": 5.0,
+    }
 
 
 def _merge_block(output: pathlib.Path, key: str, block: dict) -> None:
@@ -1248,10 +1292,15 @@ def main() -> None:
              "stateful) and merge its block into the existing output "
              "JSON",
     )
+    parser.add_argument(
+        "--lint", action="store_true",
+        help="run only the full-tree static-analysis bench and merge "
+             "its block into the existing output JSON",
+    )
     args = parser.parse_args()
 
     if args.shadow or args.analytic or args.pipeline or args.scale \
-            or args.stages or args.service or args.attacks:
+            or args.stages or args.service or args.attacks or args.lint:
         # Merge only the requested blocks; the other benches' numbers
         # (and the top-level timestamp describing them) are untouched.
         if args.shadow:
@@ -1294,6 +1343,12 @@ def main() -> None:
             print(f"  attacks: compiled "
                   f"{attacks['speedup_compiled_vs_stateful']}x vs "
                   f"stateful adversarial round")
+        if args.lint:
+            lint = measure_lint(args.repeats)
+            _merge_block(args.output, "lint", lint)
+            print(f"  lint: {lint['files_linted']} files in "
+                  f"{lint['wall_seconds_full_tree']}s "
+                  f"({lint['files_per_second']} files/s)")
         return
 
     report = run_benches(args.repeats)

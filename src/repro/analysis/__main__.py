@@ -1,0 +1,186 @@
+"""``python -m repro.analysis``: run the determinism & layering lint.
+
+Exit codes: 0 clean (every finding baselined), 1 new findings (or, under
+``--strict``, stale/reason-less baseline entries), 2 usage or baseline
+format errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.analysis import (  # noqa: F401  (imports register the rules)
+    all_rules,
+    load_baseline,
+    match_baseline,
+    run_paths,
+    save_baseline,
+)
+from repro.analysis.baseline import (
+    BaselineError,
+    check_reasons,
+    updated_baseline,
+)
+from repro.analysis.rules_layering import emit_dot, module_graph
+
+BASELINE_NAME = ".ff-lint-baseline.json"
+
+
+def _find_root(start: pathlib.Path) -> pathlib.Path:
+    """Nearest ancestor that looks like the repo root (has src/repro)."""
+    for candidate in (start, *start.parents):
+        if (candidate / "src" / "repro").is_dir():
+            return candidate
+    return start
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Determinism & layering lint for the FlashFlow repro.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=pathlib.Path,
+        help="files or directories to lint (default: <root>/src)",
+    )
+    parser.add_argument(
+        "--root", type=pathlib.Path, default=None,
+        help="repo root for module-name resolution and the default "
+             "baseline location (default: nearest ancestor with src/repro)",
+    )
+    parser.add_argument(
+        "--baseline", type=pathlib.Path, default=None,
+        help=f"baseline file (default: <root>/{BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline: report every finding",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="also fail on stale baseline entries and entries with an "
+             "empty reason",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from current findings (reasons of "
+             "surviving entries are preserved; fixed entries are pruned; "
+             "new entries get an empty reason you must fill in)",
+    )
+    parser.add_argument(
+        "--check-baseline", action="store_true",
+        help="only validate the baseline file (schema + non-empty "
+             "reasons) and exit",
+    )
+    parser.add_argument(
+        "--graph", choices=("dot",), default=None,
+        help="emit the module-scope import DAG and exit",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit findings as JSON instead of text",
+    )
+    parser.add_argument(
+        "--rules", action="store_true",
+        help="list registered rules and exit",
+    )
+    args = parser.parse_args(argv)
+
+    root = (args.root or _find_root(pathlib.Path.cwd())).resolve()
+    baseline_path = args.baseline or root / BASELINE_NAME
+    paths = args.paths or [root / "src"]
+
+    if args.rules:
+        for rule in sorted(all_rules().values(), key=lambda r: r.code):
+            first_line = rule.doc.splitlines()[0] if rule.doc else ""
+            print(f"{rule.code}  {rule.name:22s} {first_line}")
+        return 0
+
+    if args.graph:
+        sys.stdout.write(emit_dot(module_graph(paths, root)))
+        return 0
+
+    try:
+        entries = [] if args.no_baseline else load_baseline(baseline_path)
+    except BaselineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.check_baseline:
+        reasonless = check_reasons(entries)
+        for entry in reasonless:
+            print(
+                f"{baseline_path}: entry for {entry.path}:{entry.line} "
+                f"[{entry.code}] has an empty reason", file=sys.stderr,
+            )
+        if reasonless:
+            return 1
+        print(
+            f"baseline ok: {len(entries)} entr"
+            f"{'y' if len(entries) == 1 else 'ies'}, all with reasons"
+        )
+        return 0
+
+    findings = run_paths(paths, root)
+    new, matched, stale = match_baseline(findings, entries)
+
+    if args.update_baseline:
+        updated = updated_baseline(findings, entries)
+        save_baseline(baseline_path, updated)
+        pruned = len(stale)
+        empty = len(check_reasons(updated))
+        print(
+            f"wrote {baseline_path}: {len(updated)} entries "
+            f"({pruned} pruned, {len(new)} new)"
+        )
+        if empty:
+            print(
+                f"warning: {empty} new entr"
+                f"{'y needs' if empty == 1 else 'ies need'} a reason= "
+                "filled in before --check-baseline passes",
+                file=sys.stderr,
+            )
+        return 0
+
+    if args.as_json:
+        print(json.dumps(
+            {
+                "new": [f.__dict__ for f in new],
+                "baselined": len(matched),
+                "stale_baseline_entries": [e.__dict__ for e in stale],
+            },
+            indent=2,
+        ))
+    else:
+        for finding in new:
+            print(finding.render())
+        if stale and args.strict:
+            for entry in stale:
+                print(
+                    f"{entry.path}: stale baseline entry [{entry.code}] "
+                    f"(context no longer found: {entry.context!r}) -- run "
+                    "--update-baseline to prune",
+                )
+    failed = bool(new)
+    if args.strict:
+        reasonless = check_reasons(entries)
+        for entry in reasonless:
+            print(
+                f"{baseline_path}: entry for {entry.path}:{entry.line} "
+                f"[{entry.code}] has an empty reason"
+            )
+        failed = failed or bool(stale) or bool(reasonless)
+    if not args.as_json:
+        summary = (
+            f"{len(new)} new finding{'s' if len(new) != 1 else ''}, "
+            f"{len(matched)} baselined, {len(stale)} stale"
+        )
+        print(("FAIL: " if failed else "ok: ") + summary)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

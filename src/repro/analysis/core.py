@@ -1,0 +1,290 @@
+"""The lint framework: findings, rule registry, suppressions, the runner.
+
+A *rule* is a function ``check(ctx) -> Iterable[Finding]`` registered
+under a stable code (``FF001``...) with :func:`register_rule`; one module
+per rule family (``rules_numeric``, ``rules_time``, ...). The runner
+parses each file once into a :class:`LintContext` (AST + source lines +
+resolved import aliases) and hands it to every rule, then filters the
+findings through inline suppressions.
+
+Suppressions are the comment grammar::
+
+    # ff-lint: allow[FF001] reason=why this occurrence is sound
+    # ff-lint: allow[FF002,FF003] reason=shared justification
+
+A suppression on its own line covers the next code line; a trailing
+comment covers its own line. The reason is mandatory: an ``allow``
+without one (or naming an unknown code) suppresses nothing and is
+itself an ``FF000`` finding, so suppressions can never rot into
+unexplained escape hatches.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+#: Framework-level findings (bad suppressions, unparsable files).
+FRAMEWORK_CODE = "FF000"
+FRAMEWORK_NAME = "suppression-hygiene"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*ff-lint:\s*allow\[([A-Za-z0-9_,\s]*)\]\s*(?:reason=(.*))?$"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a file/line, with a stable code.
+
+    ``context`` is the stripped source line: baseline matching keys on
+    ``(path, code, context)`` rather than the line number, so findings
+    survive unrelated edits that shift lines.
+    """
+
+    path: str
+    line: int
+    code: str
+    message: str
+    context: str = ""
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.path, self.code, self.context)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered rule: stable code, short name, check function."""
+
+    code: str
+    name: str
+    check: Callable[["LintContext"], Iterable[Finding]]
+    doc: str
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register_rule(code: str, name: str):
+    """Register ``check(ctx)`` under ``code``; the docstring is the spec."""
+
+    def decorator(fn: Callable[["LintContext"], Iterable[Finding]]):
+        if code in _REGISTRY:
+            raise ValueError(f"duplicate rule code {code}")
+        _REGISTRY[code] = Rule(code=code, name=name, check=fn,
+                               doc=(fn.__doc__ or "").strip())
+        return fn
+
+    return decorator
+
+
+def all_rules() -> dict[str, Rule]:
+    """Registered rules by code (framework pseudo-rule included)."""
+    rules = dict(_REGISTRY)
+    rules.setdefault(
+        FRAMEWORK_CODE,
+        Rule(
+            code=FRAMEWORK_CODE,
+            name=FRAMEWORK_NAME,
+            check=lambda ctx: (),
+            doc="Every inline suppression names a registered rule code "
+                "and carries a non-empty reason.",
+        ),
+    )
+    return rules
+
+
+@dataclass
+class _Suppression:
+    line: int          # the code line this suppression covers
+    codes: tuple[str, ...]
+    reason: str
+
+
+class LintContext:
+    """Everything a rule needs about one parsed file."""
+
+    def __init__(self, path: Path, rel_path: str, module: str, source: str):
+        self.path = path
+        self.rel_path = rel_path
+        #: Dotted module name (``repro.kernel.supply``), or ``""`` when
+        #: the file does not map into a package under the scan root.
+        self.module = module
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        #: ``import X as Y`` aliases: local name -> module dotted path.
+        self.module_aliases: dict[str, str] = {}
+        #: ``from X import Y as Z``: local name -> ``X.Y``.
+        self.from_imports: dict[str, str] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.module_aliases[
+                        alias.asname or alias.name.split(".")[0]
+                    ] = alias.name if alias.asname else alias.name.split(".")[0]
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    self.from_imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Resolve an attribute chain to a dotted name rooted at a module.
+
+        ``np.random.rand`` -> ``numpy.random.rand`` (via ``import numpy
+        as np``); a bare name imported with ``from time import
+        perf_counter`` resolves to ``time.perf_counter``. Chains rooted
+        at local variables resolve to ``None``.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = node.id
+        if root in self.module_aliases:
+            parts.append(self.module_aliases[root])
+        elif root in self.from_imports:
+            if parts:
+                parts.append(self.from_imports[root])
+            else:
+                return self.from_imports[root]
+        else:
+            return None
+        return ".".join(reversed(parts))
+
+    def finding(self, node: ast.AST, code: str, message: str) -> Finding:
+        line = getattr(node, "lineno", 1)
+        context = ""
+        if 1 <= line <= len(self.lines):
+            context = self.lines[line - 1].strip()
+        return Finding(path=self.rel_path, line=line, code=code,
+                       message=message, context=context)
+
+
+def module_name_for(path: Path, root: Path) -> str:
+    """Dotted module name of ``path`` relative to ``root``.
+
+    A leading ``src`` component is stripped (the repo layout), so
+    ``<root>/src/repro/kernel/supply.py`` -> ``repro.kernel.supply`` and
+    package ``__init__.py`` files name the package itself.
+    """
+    try:
+        rel = path.resolve().relative_to(root.resolve())
+    # ff-lint: allow[FF006] reason=path outside root maps to no module; the empty name is the documented result
+    except ValueError:
+        return ""
+    parts = list(rel.parts)
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if not parts:
+        return ""
+    parts[-1] = parts[-1][:-3] if parts[-1].endswith(".py") else parts[-1]
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _parse_suppressions(
+    ctx: LintContext, known_codes: set[str]
+) -> tuple[list[_Suppression], list[Finding]]:
+    """Extract suppressions and FF000 hygiene findings from a file."""
+    suppressions: list[_Suppression] = []
+    hygiene: list[Finding] = []
+    for i, raw in enumerate(ctx.lines, start=1):
+        match = _SUPPRESS_RE.search(raw)
+        if match is None:
+            continue
+        codes = tuple(
+            c.strip() for c in match.group(1).split(",") if c.strip()
+        )
+        reason = (match.group(2) or "").strip()
+        context = raw.strip()
+        problems = []
+        if not codes:
+            problems.append("no rule codes")
+        unknown = [c for c in codes if c not in known_codes]
+        if unknown:
+            problems.append(f"unknown code(s) {', '.join(unknown)}")
+        if not reason:
+            problems.append("missing mandatory reason=")
+        if problems:
+            hygiene.append(
+                Finding(
+                    path=ctx.rel_path, line=i, code=FRAMEWORK_CODE,
+                    message="bad ff-lint suppression "
+                            f"({'; '.join(problems)}); it suppresses nothing",
+                    context=context,
+                )
+            )
+            continue
+        # A comment-only line covers the next line; a trailing comment
+        # covers its own.
+        covered = i + 1 if raw.strip().startswith("#") else i
+        suppressions.append(
+            _Suppression(line=covered, codes=codes, reason=reason)
+        )
+    return suppressions, hygiene
+
+
+def _iter_py_files(paths: Iterable[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def run_paths(
+    paths: Iterable[Path], root: Path
+) -> list[Finding]:
+    """Run every registered rule over the ``.py`` files under ``paths``.
+
+    Returns all unsuppressed findings, sorted by (path, line, code).
+    Unparsable files surface as FF000 findings rather than crashing the
+    run -- the lint must never be the thing that hides a syntax error.
+    """
+    rules = list(_REGISTRY.values())
+    known_codes = set(_REGISTRY) | {FRAMEWORK_CODE}
+    findings: list[Finding] = []
+    for path in _iter_py_files(paths):
+        try:
+            rel = str(path.resolve().relative_to(root.resolve()))
+        # ff-lint: allow[FF006] reason=a non-relative path keeps its absolute spelling in findings; nothing is lost
+        except ValueError:
+            rel = str(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+            ctx = LintContext(
+                path=path, rel_path=rel,
+                module=module_name_for(path, root), source=source,
+            )
+        # ff-lint: allow[FF006] reason=the unparsable file becomes an FF000 finding below; the finding is the evidence
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            findings.append(
+                Finding(path=rel, line=getattr(exc, "lineno", None) or 1,
+                        code=FRAMEWORK_CODE,
+                        message=f"file is unparsable: {exc}")
+            )
+            continue
+        suppressions, hygiene = _parse_suppressions(ctx, known_codes)
+        findings.extend(hygiene)
+        by_line: dict[int, list[_Suppression]] = {}
+        for sup in suppressions:
+            by_line.setdefault(sup.line, []).append(sup)
+        for rule in rules:
+            for finding in rule.check(ctx):
+                suppressed = any(
+                    finding.code in sup.codes
+                    for sup in by_line.get(finding.line, ())
+                )
+                if not suppressed:
+                    findings.append(finding)
+    return sorted(findings)

@@ -1,0 +1,140 @@
+"""FF004: no unordered iteration where draw order or relay state is live.
+
+**Invariant.** ``set``/``frozenset`` iteration order depends on hash
+seeding and insertion history; any function that both iterates such a
+collection and touches an RNG stream or relay state couples *draw order*
+(or settlement order) to that accident. Determinism-critical loops
+iterate sorted views (``sorted(members)``) or insertion-ordered dicts
+built from ordered inputs.
+
+**Provenance.** The PR 8 churn derivation is the canonical fix: period
+events derive from ``(churn_seed, k, sorted membership)`` precisely
+because iterating the membership *set* would have made churn depend on
+hash order. This rule mechanizes the code-review question "is that loop
+order stable?" for every function that holds an RNG.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, LintContext, register_rule
+
+#: Identifiers whose presence marks a function as RNG-touching.
+RNG_MARKERS = frozenset({"rng", "_rng", "fork", "fork_numpy", "random"})
+
+#: Identifiers marking live relay/network state.
+STATE_MARKERS = frozenset({"relay", "relays", "network"})
+
+
+def _identifiers(node: ast.AST) -> set[str]:
+    names: set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            names.add(child.id)
+        elif isinstance(child, ast.Attribute):
+            names.add(child.attr)
+    return names
+
+
+def _set_producing_names(fn: ast.AST) -> set[str]:
+    """Names assigned from a set expression anywhere in the function."""
+    names: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign) and _is_unordered(node.value, set()):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and node.value is not None
+            and isinstance(node.target, ast.Name)
+            and _is_unordered(node.value, set())
+        ):
+            names.add(node.target.id)
+    return names
+
+
+def _is_unordered(node: ast.expr, set_names: set[str]) -> bool:
+    """Does this expression produce a set (or a dict built from one)?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name) and node.id in set_names:
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        # dict.fromkeys(<set>) / dict(<set>...) keep the set's order.
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "fromkeys"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "dict"
+            and node.args
+            and _is_unordered(node.args[0], set_names)
+        ):
+            return True
+        # <set>.union/.intersection/... chains are still sets.
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in ("union", "intersection", "difference",
+                              "symmetric_difference", "copy")
+            and _is_unordered(func.value, set_names)
+        ):
+            return True
+        # .keys()/.values()/.items() on a dict built from a set.
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in ("keys", "values", "items")
+            and _is_unordered(func.value, set_names)
+        ):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_unordered(node.left, set_names) and _is_unordered(
+            node.right, set_names
+        )
+    return False
+
+
+def _iteration_sites(fn: ast.AST) -> Iterator[ast.expr]:
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for comp in node.generators:
+                yield comp.iter
+
+
+@register_rule("FF004", "unordered-iteration")
+def check_unordered_iteration(ctx: LintContext) -> Iterator[Finding]:
+    """Set-ordered loops inside RNG-/relay-state-touching functions."""
+    for fn in ast.walk(ctx.tree):
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        idents = _identifiers(fn)
+        touches_rng = bool(idents & RNG_MARKERS) or any(
+            i.endswith("_rng") or i.endswith("_seed") or i == "seed"
+            for i in idents
+        )
+        touches_state = bool(idents & STATE_MARKERS)
+        if not (touches_rng or touches_state):
+            continue
+        set_names = _set_producing_names(fn)
+        for it in _iteration_sites(fn):
+            # sorted(...) / list(sorted(...)) impose a stable order.
+            if isinstance(it, ast.Call) and isinstance(it.func, ast.Name) \
+                    and it.func.id in ("sorted", "enumerate", "len"):
+                continue
+            if _is_unordered(it, set_names):
+                what = "RNG stream" if touches_rng else "relay state"
+                yield ctx.finding(
+                    it, "FF004",
+                    "iterating a set (hash order) in a function that "
+                    f"touches {what}: draw/settlement order becomes "
+                    "hash-seed-dependent; wrap the iterable in sorted()",
+                )

@@ -1,0 +1,72 @@
+"""FF002: wall-clock reads belong to the observability layer only.
+
+**Invariant.** Deterministic code never reads a wall clock: campaign
+results must be a pure function of (config, seeds), and ``repro.obs``'s
+contract is "spans read clocks, never RNGs" -- the *only* places a clock
+read is sound are the observability layer itself (``repro.obs``), the
+service's pluggable clock abstraction (``repro.service.clock``), and
+offline tooling under ``scripts/``. Anything else that needs time must
+take a :class:`repro.service.clock.Clock` or report through a tracer
+span.
+
+**Provenance.** PR 7's perturbation guard
+(``tests/obs/test_campaign_tracing.py``: a traced campaign is
+bit-identical to an untraced one) and PR 8's journaling-on-vs-off pin
+both exist because one stray ``time.time()`` in a results path would
+silently break kill/resume bit-identity. Grandfathered telemetry reads
+(round wall-time on reports) live in the baseline with their proofs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, LintContext, register_rule
+
+#: Module prefixes where clock reads are the whole point.
+ALLOWED_MODULES = ("repro.obs", "repro.service.clock")
+
+#: Path prefixes exempt wholesale (offline tooling, not library code).
+ALLOWED_PATH_PREFIXES = ("scripts",)
+
+CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.thread_time", "time.thread_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+
+def _allowed(ctx: LintContext) -> bool:
+    if any(
+        ctx.module == prefix or ctx.module.startswith(prefix + ".")
+        for prefix in ALLOWED_MODULES
+    ):
+        return True
+    rel = ctx.rel_path.replace("\\", "/")
+    return any(
+        rel.startswith(prefix + "/") for prefix in ALLOWED_PATH_PREFIXES
+    )
+
+
+@register_rule("FF002", "wall-clock")
+def check_wall_clock(ctx: LintContext) -> Iterator[Finding]:
+    """Clock reads outside ``repro.obs``/``repro.service.clock``/scripts."""
+    if _allowed(ctx):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = ctx.resolve(node.func)
+        if resolved in CLOCK_CALLS:
+            yield ctx.finding(
+                node, "FF002",
+                f"wall-clock read `{resolved}` outside the observability "
+                "layer; deterministic paths must be pure functions of "
+                "(config, seeds) -- read time through a tracer span or a "
+                "pluggable Clock",
+            )

@@ -463,6 +463,9 @@ class MeasurementEngine:
                 inputs.params.p_check,
                 fork(spec.seed, f"verify-{spec.target.fingerprint}"),
                 key=self._verifier_key(),
+                payload_rng=fork(
+                    spec.seed, f"verify-payload-{spec.target.fingerprint}"
+                ),
             )
             if spec.verify
             else None

@@ -16,13 +16,18 @@ the security analysis benches.
 from __future__ import annotations
 
 import math
-import os
 import random
 
 from repro.errors import VerificationFailure
+from repro.rng import seed_from
 from repro.tornet.cell import PAYLOAD_LEN, Cell
 from repro.tornet.relay import Relay
 from repro.tornet.relaycrypto import CircuitKey, establish_circuit_key
+
+#: Fallback seed for the sampled-cell payload stream when a verifier is
+#: built without an explicit ``payload_rng`` (direct unit-test use).
+#: The engine always passes the measurement's ``verify-payload-*`` fork.
+_DEFAULT_PAYLOAD_SEED = seed_from(0, "verify-payload")
 
 
 def detection_probability(p_check: float, forged_cells: int) -> float:
@@ -72,11 +77,19 @@ class EchoVerifier:
     """Per-measurement verification state for one measuring process."""
 
     def __init__(self, p_check: float, rng: random.Random,
-                 key: CircuitKey | None = None):
+                 key: CircuitKey | None = None,
+                 payload_rng: random.Random | None = None):
         if not 0 <= p_check <= 1:
             raise ValueError("p_check must be a probability")
         self.p_check = p_check
         self._rng = rng
+        # Sampled-cell payloads come from their own seeded stream, not
+        # ``os.urandom`` (reproducible transcripts) and not ``rng`` (the
+        # ``verify-*`` sample-count stream's positions must not move --
+        # the kernel replay consumes that stream draw-for-draw).
+        if payload_rng is None:
+            payload_rng = random.Random(_DEFAULT_PAYLOAD_SEED)
+        self._payload_rng = payload_rng
         if key is None:
             key, _ = establish_circuit_key()
         self.key = key
@@ -103,7 +116,7 @@ class EchoVerifier:
         for _ in range(n_cells):
             index = self._next_cell_index
             self._next_cell_index += 1
-            payload = os.urandom(PAYLOAD_LEN)
+            payload = self._payload_rng.randbytes(PAYLOAD_LEN)
             cell = Cell.measurement(circ_id, payload)
             expected = self.key.process(payload, index)
             echoed = relay.process_measurement_cell(cell, self.key, index)

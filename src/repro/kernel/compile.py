@@ -128,6 +128,9 @@ class CompiledMeasurement:
     p_check: float | None
     #: Seed of the measurement's ``verify-*`` RNG stream.
     verify_seed: int
+    #: Seed of the ``verify-payload-*`` stream the sampled-cell payloads
+    #: are drawn from (the stateful verifier's ``payload_rng`` fork).
+    payload_seed: int
     #: Shared circuit key bytes for the verification replay.
     key_bytes: bytes | None
     #: Early result (admission refusal); skips execution entirely.
@@ -255,6 +258,7 @@ def compile_measurement(
             total_allocated=inputs.total_allocated,
             p_check=None,
             verify_seed=0,
+            payload_seed=0,
             key_bytes=None,
             outcome=inputs.outcome,
         )
@@ -341,6 +345,9 @@ def compile_measurement(
         total_allocated=inputs.total_allocated,
         p_check=p_check,
         verify_seed=seed_from(spec.seed, f"verify-{target.fingerprint}"),
+        payload_seed=seed_from(
+            spec.seed, f"verify-payload-{target.fingerprint}"
+        ),
         key_bytes=key_bytes,
         program=program,
         behavior_rng_state=behavior_rng_state,

@@ -38,7 +38,6 @@ lets the walk itself run in a worker process.
 
 from __future__ import annotations
 
-import os
 import random
 import statistics
 from dataclasses import dataclass, field
@@ -152,7 +151,9 @@ def _verify_replay(
     Consumes the ``verify-*`` stream exactly like
     ``EchoVerifier.verify_second`` + ``check_cells``: one sample-count
     draw sequence per second, then the relay-side decryption per sampled
-    cell. An honest relay's echo is *defined* as the local decryption,
+    cell, whose payload comes from the measurement's dedicated
+    ``verify-payload-*`` stream (the same bytes, in the same order, the
+    stateful verifier's ``payload_rng`` draws -- never ambient entropy). An honest relay's echo is *defined* as the local decryption,
     so the measurer-side comparison would compare the decryption against
     itself; the replay performs the decryption work once and counts the
     cell as checked -- same cells checked, no possible failure.
@@ -169,6 +170,7 @@ def _verify_replay(
     if cm.p_check is None:
         return _ReplayResult()
     rng = random.Random(cm.verify_seed)
+    payload_rng = random.Random(cm.payload_seed)
     key = _circuit_key(cm.key_bytes)
     forge_fraction = cm.program.forge_fraction
     behavior_rng: random.Random | None = None
@@ -183,7 +185,7 @@ def _verify_replay(
         for _ in range(count):
             index = next_cell_index
             next_cell_index += 1
-            key.process(os.urandom(PAYLOAD_LEN), index)
+            key.process(payload_rng.randbytes(PAYLOAD_LEN), index)
             cells_checked += 1
             if (
                 behavior_rng is not None

@@ -11,14 +11,22 @@ cell. This module implements the wire encoding so the verification path
 from __future__ import annotations
 
 import enum
-import os
+import random
 import struct
 from dataclasses import dataclass
 
+from repro.rng import seed_from
 from repro.units import CELL_LEN
 
 #: Payload length: cell minus the circuit-id (4) and command (1) header.
 PAYLOAD_LEN = CELL_LEN - 5
+
+#: Default payload stream for :meth:`Cell.measurement`. Seeded (not
+#: ``os.urandom``) so cell construction is reproducible: measurement
+#: cells sit on nominally deterministic paths, and ambient entropy here
+#: would make transcripts differ across same-seed runs. Callers that
+#: need their own stream pass ``rng=`` explicitly.
+_DEFAULT_PAYLOAD_RNG = random.Random(seed_from(0, "cell-payload"))
 
 _HEADER = struct.Struct(">IB")
 
@@ -70,10 +78,21 @@ class Cell:
         return cls(circ_id=circ_id, command=CellType(command), payload=data[5:])
 
     @classmethod
-    def measurement(cls, circ_id: int, payload: bytes | None = None) -> "Cell":
-        """Build a MEASURE cell; payload defaults to fresh random bytes."""
+    def measurement(
+        cls,
+        circ_id: int,
+        payload: bytes | None = None,
+        rng: random.Random | None = None,
+    ) -> "Cell":
+        """Build a MEASURE cell; payload defaults to fresh random bytes.
+
+        The random bytes come from ``rng`` when given (the caller's
+        seeded stream), else from the module's seeded payload generator
+        -- never from ambient entropy, so same-seed runs build the same
+        cells.
+        """
         if payload is None:
-            payload = os.urandom(PAYLOAD_LEN)
+            payload = (rng or _DEFAULT_PAYLOAD_RNG).randbytes(PAYLOAD_LEN)
         return cls(circ_id=circ_id, command=CellType.MEASURE, payload=payload)
 
     def with_payload(self, payload: bytes) -> "Cell":

@@ -1,0 +1,130 @@
+"""CLI exit codes and the end-to-end run over the shipped tree."""
+
+import json
+from pathlib import Path
+
+from repro.analysis import load_baseline, match_baseline, run_paths
+from repro.analysis.__main__ import BASELINE_NAME, main
+from repro.analysis.baseline import check_reasons
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+BAD = """\
+import os
+
+def payload():
+    return os.urandom(16)
+"""
+
+
+def _fixture_tree(tmp_path: Path) -> Path:
+    path = tmp_path / "src" / "repro" / "core" / "bad.py"
+    path.parent.mkdir(parents=True)
+    path.write_text(BAD, encoding="utf-8")
+    return tmp_path
+
+
+def test_strict_nonzero_on_violation(tmp_path, capsys):
+    root = _fixture_tree(tmp_path)
+    rc = main([str(root / "src"), "--root", str(root), "--strict"])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "FF003" in out and "FAIL" in out
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    (tmp_path / "src" / "repro").mkdir(parents=True)
+    (tmp_path / "src" / "repro" / "ok.py").write_text(
+        "def f():\n    return 1\n", encoding="utf-8"
+    )
+    rc = main([str(tmp_path / "src"), "--root", str(tmp_path), "--strict"])
+    assert rc == 0
+    assert "ok: 0 new findings" in capsys.readouterr().out
+
+
+def test_update_baseline_then_strict_flow(tmp_path, capsys):
+    root = _fixture_tree(tmp_path)
+    baseline = root / BASELINE_NAME
+    argv = [str(root / "src"), "--root", str(root)]
+
+    assert main(argv + ["--update-baseline"]) == 0
+    entries = load_baseline(baseline)
+    assert len(entries) == 1 and entries[0].reason == ""
+
+    # Reason-less entries pass plain runs but fail --strict + checks.
+    assert main(argv) == 0
+    assert main(argv + ["--strict"]) == 1
+    assert main(argv + ["--check-baseline"]) == 1
+
+    filled = json.loads(baseline.read_text(encoding="utf-8"))
+    filled["entries"][0]["reason"] = "fixture: grandfathered on purpose"
+    baseline.write_text(json.dumps(filled), encoding="utf-8")
+    assert main(argv + ["--strict"]) == 0
+    assert main(argv + ["--check-baseline"]) == 0
+
+    # Fixing the violation makes the entry stale: strict flags it,
+    # --update-baseline prunes it.
+    (root / "src" / "repro" / "core" / "bad.py").write_text(
+        "def payload():\n    return b'x' * 16\n", encoding="utf-8"
+    )
+    assert main(argv + ["--strict"]) == 1
+    assert "stale" in capsys.readouterr().out
+    assert main(argv + ["--update-baseline"]) == 0
+    assert load_baseline(baseline) == []
+    assert main(argv + ["--strict"]) == 0
+
+
+def test_malformed_baseline_is_usage_error(tmp_path, capsys):
+    root = _fixture_tree(tmp_path)
+    (root / BASELINE_NAME).write_text("{not json", encoding="utf-8")
+    rc = main([str(root / "src"), "--root", str(root)])
+    assert rc == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_json_output(tmp_path, capsys):
+    root = _fixture_tree(tmp_path)
+    rc = main([str(root / "src"), "--root", str(root), "--json",
+               "--no-baseline"])
+    assert rc == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert [f["code"] for f in payload["new"]] == ["FF003"]
+
+
+def test_rules_listing(capsys):
+    assert main(["--rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("FF000", "FF001", "FF002", "FF003", "FF004", "FF005",
+                 "FF006"):
+        assert code in out
+
+
+def test_graph_dot_emits_digraph(tmp_path, capsys):
+    root = _fixture_tree(tmp_path)
+    rc = main([str(root / "src"), "--root", str(root), "--graph", "dot"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert out.startswith("digraph repro_imports {")
+    assert '"repro.core.bad"' in out
+
+
+# ------------------------------------------------------------------ e2e
+
+def test_shipped_tree_has_zero_non_baseline_findings():
+    findings = run_paths([REPO_ROOT / "src"], root=REPO_ROOT)
+    entries = load_baseline(REPO_ROOT / BASELINE_NAME)
+    new, _matched, stale = match_baseline(findings, entries)
+    assert new == [], "\n".join(f.render() for f in new)
+    assert stale == [], "stale baseline entries: run --update-baseline"
+
+
+def test_shipped_baseline_entries_all_carry_reasons():
+    entries = load_baseline(REPO_ROOT / BASELINE_NAME)
+    assert entries, "baseline should exist and be non-trivial"
+    assert check_reasons(entries) == []
+
+
+def test_strict_cli_exits_zero_on_shipped_tree(capsys):
+    rc = main([str(REPO_ROOT / "src"), "--root", str(REPO_ROOT),
+               "--strict"])
+    assert rc == 0, capsys.readouterr().out

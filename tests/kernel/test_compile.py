@@ -318,3 +318,65 @@ def test_supply_noise_resumes_the_measurement_stream(team):
     noise = cm.supply_noise()
     assert noise.shape == (n_active, cm.duration)
     assert float(noise[0, 0]) >= 0.3
+
+
+def test_verify_payload_stream_matches_stateful_verifier(team):
+    """The compiled ``payload_seed`` is the ``verify-payload-*`` fork.
+
+    The stateful engine hands its EchoVerifier a dedicated
+    ``fork(seed, "verify-payload-<fp>")`` stream for sampled-cell
+    payloads; the kernel replay must reconstruct byte-for-byte the same
+    stream from ``cm.payload_seed`` -- never ambient entropy, and never
+    the ``verify-*`` sample-count stream (whose draw positions are
+    load-bearing for cells_checked and forge-detection timing).
+    """
+    import random
+
+    from repro.tornet.cell import PAYLOAD_LEN
+
+    params = FlashFlowParams()
+    spec = _spec(_relay(21, 200), team, params, seed=91)
+    cm = compile_measurement(MeasurementEngine(), spec)
+    fingerprint = spec.target.fingerprint
+
+    stateful = fork(91, f"verify-payload-{fingerprint}")
+    replay = random.Random(cm.payload_seed)
+    assert [replay.randbytes(PAYLOAD_LEN) for _ in range(8)] \
+        == [stateful.randbytes(PAYLOAD_LEN) for _ in range(8)]
+
+    # Distinct stream: drawing payloads must not move verify-* positions.
+    verify = fork(91, f"verify-{fingerprint}")
+    assert random.Random(cm.verify_seed).random() == verify.random()
+    assert cm.payload_seed != cm.verify_seed
+
+
+def test_verification_outcome_invariant_to_payload_stream(team):
+    """Honest echo verification is payload-content-independent.
+
+    The relay's echo is *defined* as the local decryption of whatever
+    payload arrives, so cells_checked and the estimate cannot depend on
+    payload bytes -- the property that made replacing ``os.urandom``
+    payloads with the seeded stream a bit-identical change. Pin it by
+    running the stateful verifier against two different payload streams.
+    """
+    import random
+
+    from repro.core.verification import EchoVerifier
+
+    spec = _spec(_relay(22, 150), team, FlashFlowParams(), seed=92)
+    relay = spec.target
+
+    def run(payload_seed):
+        verifier = EchoVerifier(
+            p_check=0.1, rng=random.Random(123),
+            payload_rng=random.Random(payload_seed),
+        )
+        per_second = [
+            verifier.verify_second(relay, 400 * 514) for _ in range(5)
+        ]
+        return per_second, verifier.cells_checked
+
+    checks_a, checked_a = run(1)
+    checks_b, checked_b = run(2)
+    assert checked_a == checked_b
+    assert checks_a == checks_b

@@ -44,6 +44,18 @@ def test_measurement_cells_have_random_payloads():
     assert a.payload != b.payload  # 509 random bytes colliding: never
 
 
+def test_measurement_default_payloads_are_seeded_not_ambient():
+    """Same seeded RNG, same payload bytes: the default-payload path
+    draws from a deterministic stream, never ``os.urandom``."""
+    import random
+
+    a = Cell.measurement(1, rng=random.Random(7))
+    b = Cell.measurement(1, rng=random.Random(7))
+    assert a.payload == b.payload
+    c = Cell.measurement(1, rng=random.Random(8))
+    assert c.payload != a.payload
+
+
 def test_with_payload_replaces_payload():
     cell = Cell.measurement(3)
     new = cell.with_payload(bytes(PAYLOAD_LEN))
